@@ -1,0 +1,49 @@
+"""Fig. 10 — spins: execution time vs node-hour cost relative to ITensor.
+
+Scatter of (relative cost, relative time) for the list and sparse-dense
+algorithms over node counts and ranks-per-node, on Blue Waters and Stampede2.
+On Blue Waters the Pareto-optimal curve consists entirely of list-algorithm
+points; relative cost stays within a small factor of single-node ITensor.
+"""
+
+from conftest import run_once, save_result
+
+from repro.ctf import BLUE_WATERS, STAMPEDE2
+from repro.perf import cost_time_points, format_table, pareto_front
+
+MS = [4096, 8192, 16384, 32768]
+NODES = [8, 16, 32, 64, 128, 256]
+
+
+def _render(points):
+    rows = [(p["algorithm"], p["m"], p["nodes"], p["procs_per_node"],
+             round(p["relative_time"], 3), round(p["relative_cost"], 2),
+             round(p["gflops"], 1)) for p in points]
+    return format_table(["algorithm", "m", "nodes", "ppn", "rel time",
+                         "rel cost", "GFlop/s"], rows)
+
+
+def test_fig10_blue_waters(benchmark, spins_full):
+    points = run_once(benchmark, cost_time_points, spins_full, BLUE_WATERS,
+                      ["list", "sparse-dense"], MS, NODES, (16, 32), 4096)
+    front = pareto_front(points)
+    text = (_render(points) + "\n\nPareto front:\n" + _render(front))
+    save_result("fig10_cost_time_spins_bw", text)
+    # the Pareto front on Blue Waters is dominated by the list algorithm
+    assert all(p["algorithm"] == "list" for p in front)
+    # and the best points beat single-node time while staying cost-comparable
+    best = min(front, key=lambda p: p["relative_time"])
+    assert best["relative_time"] < 0.2
+    assert min(p["relative_cost"] for p in points) < 5.0
+
+
+def test_fig10_stampede2(benchmark, spins_full):
+    points = run_once(benchmark, cost_time_points, spins_full, STAMPEDE2,
+                      ["list", "sparse-dense"], [4096, 8192, 16384],
+                      [4, 8, 16, 32], (32, 64), 4096)
+    text = _render(points)
+    save_result("fig10_cost_time_spins_stampede2", text)
+    # Stampede2's fast single node makes the relative cost much higher than
+    # on Blue Waters (the paper's right panel, costs ~16-18)
+    assert min(p["relative_cost"] for p in points) > \
+        1.0

@@ -1,0 +1,45 @@
+"""Fig. 11 — electrons weak scaling (list and sparse-sparse) on both machines.
+
+Relative efficiency is normalized to single-node ITensor at m = 16384 on
+Blue Waters and m = 8192 on Stampede2, following the paper's captions.
+"""
+
+from conftest import run_once, save_result
+
+from repro.ctf import BLUE_WATERS, STAMPEDE2
+from repro.perf import format_series, weak_scaling
+
+BW_PAIRS = [(1, 4096), (2, 8192), (4, 16384), (8, 32768)]
+S2_PAIRS = [(4, 4096), (8, 8192), (16, 16384), (32, 32768)]
+
+
+def test_fig11_blue_waters(benchmark, electrons_full):
+    def run():
+        lst = weak_scaling(electrons_full, BLUE_WATERS, "list", BW_PAIRS,
+                           reference_m=16384, procs_per_node=16)
+        sparse = weak_scaling(electrons_full, BLUE_WATERS, "sparse-sparse",
+                              BW_PAIRS, reference_m=16384, procs_per_node=16)
+        return lst, sparse
+    lst, sparse = run_once(benchmark, run)
+    text = (format_series(lst, "nodes", "relative efficiency (list)") +
+            "\n\n" +
+            format_series(sparse, "nodes", "relative efficiency (sparse-sparse)"))
+    save_result("fig11_weak_scaling_electrons_bw", text)
+    assert all(y > 0 for y in lst.y + sparse.y)
+    # efficiency is gained only at the largest problem sizes (paper, Sec VI-B)
+    assert lst.y[-1] > lst.y[0]
+
+
+def test_fig11_stampede2(benchmark, electrons_full):
+    def run():
+        lst = weak_scaling(electrons_full, STAMPEDE2, "list", S2_PAIRS,
+                           reference_m=8192, procs_per_node=64)
+        sparse = weak_scaling(electrons_full, STAMPEDE2, "sparse-sparse",
+                              S2_PAIRS, reference_m=8192, procs_per_node=64)
+        return lst, sparse
+    lst, sparse = run_once(benchmark, run)
+    text = (format_series(lst, "nodes", "relative efficiency (list)") +
+            "\n\n" +
+            format_series(sparse, "nodes", "relative efficiency (sparse-sparse)"))
+    save_result("fig11_weak_scaling_electrons_stampede2", text)
+    assert all(y > 0 for y in lst.y + sparse.y)

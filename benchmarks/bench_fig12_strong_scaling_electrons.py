@@ -1,0 +1,47 @@
+"""Fig. 12 — electrons sparse-sparse strong scaling at m = 8192.
+
+Blue Waters starts from 2 nodes; on Stampede2 the sparse format's higher
+memory footprint makes 4 nodes the minimum, as the paper notes.
+"""
+
+from conftest import run_once, save_result
+
+from repro.ctf import BLUE_WATERS, STAMPEDE2, SimWorld
+from repro.perf import format_series, model_dmrg_step, strong_scaling
+
+
+def test_fig12_blue_waters(benchmark, electrons_full):
+    def run():
+        return strong_scaling(electrons_full, BLUE_WATERS, "sparse-sparse",
+                              8192, [2, 4, 8], procs_per_node=16)
+    speedup, efficiency = run_once(benchmark, run)
+    text = (format_series(speedup, "nodes", "speedup") + "\n\n" +
+            format_series(efficiency, "nodes", "efficiency"))
+    save_result("fig12_strong_scaling_electrons_bw", text)
+    assert speedup.y[-1] > 1.5
+
+
+def test_fig12_stampede2(benchmark, electrons_full):
+    def run():
+        return strong_scaling(electrons_full, STAMPEDE2, "sparse-sparse",
+                              8192, [4, 8, 16], procs_per_node=64)
+    speedup, efficiency = run_once(benchmark, run)
+    text = (format_series(speedup, "nodes", "speedup") + "\n\n" +
+            format_series(efficiency, "nodes", "efficiency"))
+    save_result("fig12_strong_scaling_electrons_stampede2", text)
+    assert speedup.y[-1] > 1.0
+
+
+def test_fig12_minimum_node_memory(benchmark, electrons_full):
+    """The sparse format needs more memory: 4-node minimum on Stampede2."""
+    def run():
+        world = SimWorld(nodes=1, procs_per_node=64, machine=STAMPEDE2)
+        step = model_dmrg_step(electrons_full, 32768, world, "sparse-dense")
+        return step
+    step = run_once(benchmark, run)
+    per_node = (step.davidson_memory + step.environment_memory) * 8
+    save_result("fig12_memory_note",
+                f"electrons m=32768 dense-intermediate footprint ~ "
+                f"{per_node / 1e9:.1f} GB (single node has "
+                f"{STAMPEDE2.memory_per_node_gb} GB)")
+    assert per_node > 0

@@ -1,0 +1,46 @@
+"""Fig. 13 — electrons: execution time vs node-hour cost relative to ITensor.
+
+On Blue Waters the list algorithm is the only method efficient in both cost
+and time (speedup ~8X at ~1X relative rate); sparse-sparse buys more speedup
+(14X rate at m = 32768) at several times the cost.
+"""
+
+from conftest import run_once, save_result
+
+from repro.ctf import BLUE_WATERS, STAMPEDE2
+from repro.perf import cost_time_points, format_table, pareto_front
+
+MS = [4096, 8192, 16384]
+NODES = [2, 4, 8, 16]
+
+
+def _render(points):
+    rows = [(p["algorithm"], p["m"], p["nodes"], p["procs_per_node"],
+             round(p["relative_time"], 3), round(p["relative_cost"], 2),
+             round(p["speedup_rate"], 2)) for p in points]
+    return format_table(["algorithm", "m", "nodes", "ppn", "rel time",
+                         "rel cost", "rate speedup"], rows)
+
+
+def test_fig13_blue_waters(benchmark, electrons_full):
+    points = run_once(benchmark, cost_time_points, electrons_full, BLUE_WATERS,
+                      ["list", "sparse-sparse"], MS, NODES, (16,), 4096)
+    front = pareto_front(points)
+    text = _render(points) + "\n\nPareto front:\n" + _render(front)
+    save_result("fig13_cost_time_electrons_bw", text)
+    lst = [p for p in points if p["algorithm"] == "list"]
+    sparse = [p for p in points if p["algorithm"] == "sparse-sparse"]
+    # list achieves lower cost than sparse-sparse at comparable speedups
+    assert min(p["relative_cost"] for p in lst) < \
+        min(p["relative_cost"] for p in sparse) * 1.5
+
+
+def test_fig13_stampede2(benchmark, electrons_full):
+    points = run_once(benchmark, cost_time_points, electrons_full, STAMPEDE2,
+                      ["list", "sparse-sparse"], MS, [4, 8, 16], (64,), 4096)
+    text = _render(points)
+    save_result("fig13_cost_time_electrons_stampede2", text)
+    assert points
+    # time-to-solution can always be reduced by adding nodes, but at a cost
+    best_time = min(p["relative_time"] for p in points)
+    assert best_time < 1.0

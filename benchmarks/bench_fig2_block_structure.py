@@ -1,0 +1,55 @@
+"""Fig. 2 — MPS block structure and sparsity versus bond dimension.
+
+Reproduces both panels for a representative (middle-bond) MPS tensor of each
+benchmark system: (a) the number of quantum-number blocks and the size of the
+largest block, (b) the stored fraction ("sparsity") of the tensor.
+"""
+
+import numpy as np
+from conftest import run_once, save_result
+
+from repro.perf import MeasuredBlockStructure, format_table
+
+MS = [2 ** 11, 2 ** 12, 2 ** 13, 2 ** 14, 2 ** 15]
+
+
+def _measure(system, ms):
+    mid = system.middle_site()
+    rows = []
+    for m in ms:
+        bonds = system.bond_indices(m)
+        stats = MeasuredBlockStructure.from_bond(
+            bonds[mid].with_flow(1), system.sites.physical_index(mid),
+            bonds[mid + 1].with_flow(-1))
+        largest_sector = max(max(bonds[mid].dims), max(bonds[mid + 1].dims))
+        rows.append((m, stats.num_blocks, largest_sector, stats.largest_block,
+                     round(stats.fill_fraction, 4)))
+    return rows
+
+
+def test_fig2_spins_block_structure(benchmark, spins_full):
+    rows = run_once(benchmark, _measure, spins_full, MS)
+    text = format_table(["m", "# blocks", "largest sector", "largest block",
+                         "fill fraction"],
+                        rows, title="Fig. 2 — spins (20x10 J1-J2)")
+    save_result("fig2_spins", text)
+    largest = [r[2] for r in rows]
+    slope = np.polyfit(np.log(MS), np.log(largest), 1)[0]
+    # paper: the largest block dimension scales as m^0.94 for spins
+    assert 0.8 <= slope <= 1.1
+    # the number of blocks grows (mildly) with bond dimension
+    assert rows[-1][1] >= rows[0][1]
+
+
+def test_fig2_electrons_block_structure(benchmark, electrons_full):
+    rows = run_once(benchmark, _measure, electrons_full, MS)
+    text = format_table(["m", "# blocks", "largest sector", "largest block",
+                         "fill fraction"],
+                        rows, title="Fig. 2 — electrons (6x6 triangular Hubbard)")
+    save_result("fig2_electrons", text)
+    # electrons have many more blocks and smaller fill than spins (two charges)
+    assert rows[-1][1] > 100
+    assert rows[-1][4] < 0.1
+    largest = [r[2] for r in rows]
+    slope = np.polyfit(np.log(MS), np.log(largest), 1)[0]
+    assert 0.8 <= slope <= 1.1

@@ -1,0 +1,45 @@
+"""Fig. 5 — peak performance rate versus bond dimension.
+
+Left panel: spins with the list algorithm on Blue Waters (16-256 nodes).
+Right panel: electrons with the list and sparse-sparse algorithms (1-64 nodes).
+The paper reports a maximum of 3.1 TFlop/s (spins, Blue Waters) and
+~200 GFlop/s (electrons, Stampede2).
+"""
+
+from conftest import run_once, save_result
+
+from repro.ctf import BLUE_WATERS, STAMPEDE2
+from repro.perf import format_series, peak_performance
+
+SPIN_MS = [2 ** 12, 2 ** 13, 2 ** 14, 2 ** 15]
+SPIN_NODES = {2 ** 12: 16, 2 ** 13: 64, 2 ** 14: 128, 2 ** 15: 256}
+ELEC_MS = [2 ** 12, 2 ** 13, 2 ** 14]
+ELEC_NODES_LIST = {2 ** 12: 1, 2 ** 13: 2, 2 ** 14: 8}
+ELEC_NODES_SPARSE = {2 ** 12: 4, 2 ** 13: 16, 2 ** 14: 64}
+
+
+def test_fig5_spins_peak_gflops(benchmark, spins_full):
+    series = run_once(benchmark, peak_performance, spins_full, BLUE_WATERS,
+                      "list", SPIN_MS, SPIN_NODES)
+    text = format_series(series, "m", "GFlop/s")
+    save_result("fig5_spins", text)
+    # rate grows monotonically with m (as in the left panel) and the largest
+    # configuration lands in the TFlop/s regime the paper reports
+    assert series.y == sorted(series.y)
+    assert series.y[-1] > 1000.0
+
+
+def test_fig5_electrons_peak_gflops(benchmark, electrons_full):
+    def both():
+        lst = peak_performance(electrons_full, STAMPEDE2, "list", ELEC_MS,
+                               ELEC_NODES_LIST, procs_per_node=64)
+        sparse = peak_performance(electrons_full, STAMPEDE2, "sparse-sparse",
+                                  ELEC_MS, ELEC_NODES_SPARSE,
+                                  procs_per_node=64)
+        return lst, sparse
+    lst, sparse = run_once(benchmark, both)
+    text = (format_series(lst, "m", "GFlop/s") + "\n\n" +
+            format_series(sparse, "m", "GFlop/s"))
+    save_result("fig5_electrons", text)
+    assert lst.y[-1] > lst.y[0]
+    assert sparse.y[-1] > sparse.y[0]

@@ -1,0 +1,25 @@
+"""Fig. 6 — time per lattice column across a full sweep (list spins, m = 8192).
+
+The paper validates that the per-site cost is uniform away from the cylinder
+edges, which justifies benchmarking only the middle columns.
+"""
+
+import numpy as np
+from conftest import run_once, save_result
+
+from repro.ctf import BLUE_WATERS
+from repro.perf import column_times, format_series
+
+
+def test_fig6_column_times(benchmark, spins_full):
+    series = run_once(benchmark, column_times, spins_full, 8192, BLUE_WATERS,
+                      32, "list")
+    text = format_series(series, "column", "modelled hours")
+    save_result("fig6_column_times", text)
+    y = np.asarray(series.y)
+    ncols = len(y)
+    middle = y[ncols // 4: -ncols // 4]
+    # the middle columns are flat (within 15%) and the edge columns cheaper
+    assert middle.std() / middle.mean() < 0.15
+    assert y[0] < middle.mean()
+    assert y[-1] < middle.mean() * 1.05

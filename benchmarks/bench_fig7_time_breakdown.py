@@ -1,0 +1,70 @@
+"""Fig. 7 — percentage time breakdown per category.
+
+(a) spins / list on Blue Waters at several bond dimensions (GEMM share grows
+with m); (b) electrons at m = 2^14 for list and sparse-sparse on Blue Waters
+and Stampede2.
+"""
+
+from conftest import run_once, save_result
+
+from repro.ctf import BLUE_WATERS, STAMPEDE2
+from repro.perf import format_breakdown, time_breakdown
+
+SPIN_POINTS = [(2 ** 12, 16), (2 ** 13, 32), (2 ** 14, 64), (2 ** 15, 128)]
+
+
+def test_fig7a_spins_breakdown(benchmark, spins_full):
+    def run():
+        return {m: time_breakdown(spins_full, m, BLUE_WATERS, nodes, "list")
+                for m, nodes in SPIN_POINTS}
+    breakdowns = run_once(benchmark, run)
+    text = "\n\n".join(
+        format_breakdown(bd, title=f"spins, list, m={m}, Blue Waters")
+        for m, bd in breakdowns.items())
+    save_result("fig7a_spins_breakdown", text)
+    gemm = [bd["gemm"] for bd in breakdowns.values()]
+    comm = [bd["communication"] for bd in breakdowns.values()]
+    # local compute dominates at every size and the communication share
+    # shrinks as the bond dimension (and node count) grows — the mechanism
+    # behind the paper's improving efficiency at scale
+    assert all(g > 50.0 for g in gemm)
+    assert comm[-1] < comm[0]
+    for bd in breakdowns.values():
+        assert abs(sum(bd.values()) - 100.0) < 1e-6
+
+
+def test_fig7b_electrons_breakdown(benchmark, electrons_full):
+    cases = [("list", BLUE_WATERS, 4, 16), ("list", STAMPEDE2, 4, 64),
+             ("sparse-sparse", BLUE_WATERS, 8, 16),
+             ("sparse-sparse", STAMPEDE2, 16, 64)]
+    def run():
+        out = {}
+        for alg, machine, nodes, ppn in cases:
+            out[(alg, machine.name)] = time_breakdown(
+                electrons_full, 2 ** 14, machine, nodes, alg,
+                procs_per_node=ppn)
+        return out
+    breakdowns = run_once(benchmark, run)
+    text = "\n\n".join(
+        format_breakdown(bd, title=f"electrons, {alg}, m=16384, {machine}")
+        for (alg, machine), bd in breakdowns.items())
+    save_result("fig7b_electrons_breakdown", text)
+    for bd in breakdowns.values():
+        assert abs(sum(bd.values()) - 100.0) < 1e-6
+
+
+def test_fig7b_sparse_mkl_share_grows_with_m(benchmark, electrons_full):
+    """Paper: sparse MKL calls grow from ~14% (m=4096) to ~52% (m=32768) of
+    the sparse-sparse time on Stampede2."""
+    def run():
+        small = time_breakdown(electrons_full, 4096, STAMPEDE2, 4,
+                               "sparse-sparse", procs_per_node=64)
+        large = time_breakdown(electrons_full, 32768, STAMPEDE2, 16,
+                               "sparse-sparse", procs_per_node=64)
+        return small, large
+    small, large = run_once(benchmark, run)
+    save_result("fig7b_sparse_mkl_trend",
+                format_breakdown(small, "sparse-sparse, m=4096, Stampede2") +
+                "\n\n" +
+                format_breakdown(large, "sparse-sparse, m=32768, Stampede2"))
+    assert large["gemm"] > small["gemm"]

@@ -1,0 +1,41 @@
+"""Fig. 8 — spins weak scaling on Blue Waters (list algorithm).
+
+(a) relative efficiency at fixed m per node (doubling nodes with m);
+(b) peak relative efficiency versus node count.  Efficiency is GFlop/s per
+node relative to single-node ITensor at m = 4096.
+"""
+
+from conftest import run_once, save_result
+
+from repro.ctf import BLUE_WATERS
+from repro.perf import format_series, peak_relative_efficiency, weak_scaling
+
+PAIRS_16 = [(16, 4096), (32, 8192), (64, 16384), (128, 32768)]
+PAIRS_32 = [(16, 4096), (32, 8192), (64, 16384)]
+
+
+def test_fig8a_weak_scaling(benchmark, spins_full):
+    def run():
+        a = weak_scaling(spins_full, BLUE_WATERS, "list", PAIRS_16,
+                         reference_m=4096, procs_per_node=16)
+        b = weak_scaling(spins_full, BLUE_WATERS, "list", PAIRS_32,
+                         reference_m=4096, procs_per_node=32)
+        return a, b
+    a, b = run_once(benchmark, run)
+    text = (format_series(a, "nodes", "relative efficiency (16/node)") +
+            "\n\n" +
+            format_series(b, "nodes", "relative efficiency (32/node)"))
+    save_result("fig8a_weak_scaling_spins", text)
+    # efficiency improves toward ~1 at the largest node count / bond dimension
+    assert a.y[-1] > a.y[0]
+    assert a.y[-1] > 0.5
+
+
+def test_fig8b_peak_relative_efficiency(benchmark, spins_full):
+    series = run_once(benchmark, peak_relative_efficiency, spins_full,
+                      BLUE_WATERS, "list", [8, 32, 128],
+                      [4096, 8192, 16384, 32768], 4096)
+    text = format_series(series, "nodes", "peak relative efficiency")
+    save_result("fig8b_peak_efficiency_spins", text)
+    # the paper observes peak relative efficiency of order 1 at all node counts
+    assert all(y > 0.3 for y in series.y)

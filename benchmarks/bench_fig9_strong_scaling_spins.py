@@ -1,0 +1,27 @@
+"""Fig. 9 — spins strong scaling at m = 8192 on Blue Waters (list algorithm).
+
+The paper finds near-ideal speedup only for a modest increase in node count
+(2^3 -> 2^4) with efficiency falling to ~60% after a further doubling.
+"""
+
+from conftest import run_once, save_result
+
+from repro.ctf import BLUE_WATERS
+from repro.perf import format_series, strong_scaling
+
+NODES = [8, 16, 32, 64]
+
+
+def test_fig9_strong_scaling(benchmark, spins_full):
+    def run():
+        return strong_scaling(spins_full, BLUE_WATERS, "list", 8192, NODES)
+    speedup, efficiency = run_once(benchmark, run)
+    text = (format_series(speedup, "nodes", "speedup") + "\n\n" +
+            format_series(efficiency, "nodes", "efficiency"))
+    save_result("fig9_strong_scaling_spins", text)
+    assert speedup.y[0] == 1.0
+    # speedup grows but sub-linearly: efficiency decays with node count
+    assert speedup.y[-1] > 1.5
+    assert efficiency.y[-1] < efficiency.y[0]
+    # first doubling stays reasonably efficient (paper: close to ideal)
+    assert efficiency.y[1] > 0.55

@@ -1,0 +1,32 @@
+"""Headline result — "up to 5.9X in runtime and 99X in processing rate over
+ITensor, at roughly comparable computational resource use" (abstract /
+Section VI-A), for the spin system on Blue Waters with the list algorithm.
+"""
+
+from conftest import run_once, save_result
+
+from repro.ctf import BLUE_WATERS
+from repro.perf import format_table, headline_speedups
+
+MS = [4096, 8192, 16384, 32768]
+NODES_FOR_M = {4096: 8, 8192: 32, 16384: 64, 32768: 256}
+
+
+def test_headline_speedups(benchmark, spins_full):
+    rows = run_once(benchmark, headline_speedups, spins_full, BLUE_WATERS, MS,
+                    NODES_FOR_M, 4096)
+    table = format_table(
+        ["m", "nodes", "time speedup", "rate speedup", "relative cost",
+         "GFlop/s"],
+        [(r["m"], r["nodes"], round(r["time_speedup"], 1),
+          round(r["rate_speedup"], 1), round(r["relative_cost"], 2),
+          round(r["gflops"], 0)) for r in rows],
+        title="Headline speedups vs single-node ITensor (spins, Blue Waters)")
+    save_result("headline_speedups", table)
+    # smallest configuration: ~5-6X speedup at ~1.5X cost (paper: 5.9X, 1.5X)
+    assert 3.0 < rows[0]["time_speedup"] < 12.0
+    assert rows[0]["relative_cost"] < 3.0
+    # speedups grow with bond dimension well beyond 50X (paper: up to 99X)
+    assert rows[-1]["time_speedup"] > 50.0
+    # the largest configuration reaches the TFlop/s regime (paper: 3.1 TF/s)
+    assert rows[-1]["gflops"] > 1000.0

@@ -1,0 +1,62 @@
+"""Table II — per-iteration complexity of the three block-sparsity algorithms.
+
+Evaluates the analytic formulas with the paper's block-structure model
+parameters ((q, r) = (4, 0.6) spins, (10, 0.65) electrons), verifies the
+scaling exponents, and cross-checks the block model against the structural
+(fusion-based) block model of the benchmark systems.
+"""
+
+import numpy as np
+from conftest import run_once, save_result
+
+from repro.perf import (GeometricBlockModel, format_table, scaling_exponent,
+                        table2)
+
+MS = [2 ** 11, 2 ** 12, 2 ** 13, 2 ** 14, 2 ** 15]
+
+
+def _render():
+    lines = []
+    for name, model, k, d, n in (
+            ("spins", GeometricBlockModel.spins(), 32, 2, 200),
+            ("electrons", GeometricBlockModel.electrons(), 26, 4, 36)):
+        rows = []
+        for entry in table2(model, 2 ** 15, k=k, d=d, nsites=n, nprocs=256):
+            rows.append((entry.algorithm, f"{entry.flops:.3e}",
+                         f"{entry.davidson_memory:.3e}",
+                         f"{entry.environment_memory:.3e}",
+                         f"{entry.bsp_supersteps:.0f}",
+                         f"{entry.bsp_comm_words:.3e}",
+                         entry.flops_formula, entry.comm_formula))
+        lines.append(format_table(
+            ["algorithm", "flops", "M_D", "env memory", "supersteps",
+             "comm words", "flops formula", "comm formula"],
+            rows, title=f"Table II ({name}, m=32768, k={k}, d={d}, p=256)"))
+        exps = (scaling_exponent(model, "flops", MS, k=k, d=d, nsites=n),
+                scaling_exponent(model, "davidson_memory", MS, k=k, d=d,
+                                 nsites=n))
+        lines.append(f"fitted exponents vs m: flops ~ m^{exps[0]:.2f}, "
+                     f"Davidson memory ~ m^{exps[1]:.2f}")
+    return "\n\n".join(lines)
+
+
+def test_table2_complexity(benchmark):
+    text = run_once(benchmark, _render)
+    save_result("table2_complexity", text)
+    # the block-sparse algorithms must scale as ~m^3 flops / ~m^2 memory
+    model = GeometricBlockModel.spins()
+    assert abs(scaling_exponent(model, "flops", MS) - 3.0) < 0.3
+    assert abs(scaling_exponent(model, "davidson_memory", MS) - 2.0) < 0.3
+
+
+def test_table2_block_model_matches_structure(benchmark, spins_full):
+    """The paper's (q, r) fit should resemble the structural fusion model."""
+    def fit():
+        bonds = spins_full.bond_indices(2 ** 13)
+        mid = bonds[spins_full.middle_site()]
+        return GeometricBlockModel.fit(list(mid.dims))
+    fitted = run_once(benchmark, fit)
+    text = (f"structural fit for spins at m=8192: q={fitted.q:.2f}, "
+            f"r={fitted.r:.2f} (paper: q=4, r=0.6)")
+    save_result("table2_block_model_fit", text)
+    assert 0.3 < fitted.r < 0.95

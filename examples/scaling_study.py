@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Reproduce the paper's scaling story end-to-end (modelled, no cluster needed).
+
+Regenerates, for the 20x10 J1-J2 spin system on the Blue Waters machine model:
+  * the headline runtime / rate speedups versus single-node ITensor (Fig. 10),
+  * weak-scaling relative efficiency (Fig. 8a),
+  * strong scaling at m = 8192 (Fig. 9),
+  * the time breakdown at the largest configuration (Fig. 7a).
+
+Run:  python examples/scaling_study.py [--small]
+(--small uses an 8x4 cylinder so the script finishes in a few seconds.)
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.ctf import BLUE_WATERS
+from repro.perf import (format_breakdown, format_series, format_table,
+                        get_system, headline_speedups, strong_scaling,
+                        time_breakdown, weak_scaling)
+
+
+def main(small: bool = False) -> None:
+    system = get_system("spins", small=small)
+    ms = [512, 1024, 2048] if small else [4096, 8192, 16384, 32768]
+    nodes_for_m = dict(zip(ms, [8, 32, 64, 256][:len(ms)]))
+    reference_m = ms[0]
+
+    print(f"system: {system.name}, {system.nsites} sites, "
+          f"MPO k = {system.mpo_bond_dimension}, machine: {BLUE_WATERS.name}")
+    print()
+
+    rows = headline_speedups(system, BLUE_WATERS, ms, nodes_for_m, reference_m)
+    print(format_table(
+        ["m", "nodes", "time speedup", "rate speedup", "rel cost", "GFlop/s"],
+        [(r["m"], r["nodes"], round(r["time_speedup"], 1),
+          round(r["rate_speedup"], 1), round(r["relative_cost"], 2),
+          round(r["gflops"])) for r in rows],
+        title="Speedup vs single-node ITensor (list algorithm)"))
+    print()
+
+    pairs = list(zip(nodes_for_m.values(), ms))
+    print(format_series(weak_scaling(system, BLUE_WATERS, "list", pairs,
+                                     reference_m),
+                        "nodes", "relative efficiency"))
+    print()
+
+    speedup, efficiency = strong_scaling(system, BLUE_WATERS, "list",
+                                         ms[min(1, len(ms) - 1)],
+                                         [8, 16, 32, 64])
+    print(format_series(speedup, "nodes", "strong-scaling speedup"))
+    print()
+
+    breakdown = time_breakdown(system, ms[-1], BLUE_WATERS,
+                               nodes_for_m[ms[-1]], "list")
+    print(format_breakdown(breakdown,
+                           title=f"time breakdown at m = {ms[-1]}"))
+
+
+if __name__ == "__main__":
+    main(small="--small" in sys.argv)

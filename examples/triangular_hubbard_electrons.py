@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""The paper's electron workload: the triangular-lattice Hubbard model.
+
+Demonstrates the d = 4 fermionic site set with two conserved charges
+(particle number and 2*Sz), Jordan-Wigner string handling in AutoMPO, MPO
+compression (the paper obtains k = 26 for the 6x6 cylinder), and a comparison
+of the ``list`` and ``sparse-sparse`` backends on the same problem.
+
+Run:  python examples/triangular_hubbard_electrons.py [Lx] [Ly] [maxdim]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.backends import make_backend
+from repro.ctf import STAMPEDE2, SimWorld
+from repro.dmrg import DMRGConfig, Sweeps, dmrg
+from repro.ed import ground_state_energy
+from repro.models import triangular_hubbard_model
+from repro.mps import MPS, build_mpo
+
+
+def main(lx: int = 3, ly: int = 2, maxdim: int = 128) -> None:
+    lattice, sites, opsum, config_state = triangular_hubbard_model(
+        lx, ly, t=1.0, u=8.5)
+    print(f"Triangular Hubbard model on a {lx}x{ly} XC cylinder "
+          f"({lattice.nsites} sites, U/t = 8.5, half filling)")
+    print(f"conserved charges: N = {sites.total_charge(config_state)[0]}, "
+          f"2*Sz = {sites.total_charge(config_state)[1]}")
+
+    mpo = build_mpo(opsum, sites, compress=True, cutoff=1e-13)
+    print(f"compressed MPO bond dimension k = {mpo.max_bond_dimension()} "
+          f"(paper: 26 for the 6x6 cylinder)")
+
+    psi0 = MPS.product_state(sites, config_state)
+    schedule = Sweeps.ramp(maxdim, 10, cutoff=1e-12, davidson_iterations=4)
+
+    energies = {}
+    for algorithm in ("list", "sparse-sparse"):
+        world = SimWorld(nodes=4, procs_per_node=64, machine=STAMPEDE2)
+        backend = make_backend(algorithm, world)
+        result, psi = dmrg(mpo, psi0, DMRGConfig(sweeps=schedule),
+                           backend=backend)
+        energies[algorithm] = result.energy
+        print(f"[{algorithm:13s}] E = {result.energy:.8f}  "
+              f"m = {psi.max_bond_dimension():4d}  "
+              f"modelled time = {world.modelled_seconds():8.3f} s  "
+              f"supersteps = {world.profiler.supersteps:8.0f}")
+
+    # both algorithms implement the same DMRG: identical energies
+    spread = max(energies.values()) - min(energies.values())
+    print(f"energy spread between algorithms: {spread:.2e}")
+
+    # exact diagonalization check for small lattices
+    if lattice.nsites <= 8:
+        exact = ground_state_energy(opsum, sites,
+                                    charge=sites.total_charge(config_state))
+        best = min(energies.values())
+        print(f"exact (Lanczos) energy: {exact:.8f}   "
+              f"DMRG error: {abs(best - exact):.2e}")
+
+
+if __name__ == "__main__":
+    args = [int(a) for a in sys.argv[1:4]]
+    main(*args)

@@ -1,0 +1,9 @@
+"""Setuptools shim.
+
+The canonical metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` works on minimal environments that lack the ``wheel``
+package required for PEP 660 editable builds.
+"""
+from setuptools import setup
+
+setup()

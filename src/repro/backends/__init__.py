@@ -1,0 +1,11 @@
+"""Contraction backends implementing the paper's three block-sparsity algorithms."""
+
+from .base import ContractionBackend, DirectBackend
+from .list_backend import ListBackend
+from .sparse_dense import SparseDenseBackend
+from .sparse_sparse import SparseSparseBackend, make_backend
+
+__all__ = [
+    "ContractionBackend", "DirectBackend", "ListBackend",
+    "SparseDenseBackend", "SparseSparseBackend", "make_backend",
+]

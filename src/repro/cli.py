@@ -1,0 +1,195 @@
+"""Command-line interface for the DMRG library.
+
+Two subcommands cover the everyday workflows:
+
+``python -m repro models``
+    List the registered model Hamiltonians and their default parameters.
+
+``python -m repro run --model heisenberg-chain --param n=16 --maxdim 64``
+    Build a model, run DMRG (two-site by default; ``--engine single-site`` or
+    ``--engine excited`` select the variants), optionally on one of the three
+    block-sparsity backends mapped to a simulated machine, measure the
+    requested observables, and print/save a report.
+
+The CLI only composes the public library API — everything it does can be done
+from a notebook with the same calls — but it gives the benchmark scripts and
+the documentation a single reproducible entry point.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List, Sequence
+
+from .backends import make_backend
+from .ctf import MACHINES, SimWorld
+from .dmrg import (DMRGConfig, Sweeps, dmrg, find_lowest_states, measure,
+                   save_mps, single_site_dmrg)
+from .models import available_models, build_model, get_model
+from .mps import MPS, build_mpo
+
+
+def _parse_params(pairs: Sequence[str]) -> Dict[str, object]:
+    """Parse ``key=value`` model parameters with numeric coercion."""
+    out: Dict[str, object] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise ValueError(f"--param expects key=value, got {pair!r}")
+        key, raw = pair.split("=", 1)
+        try:
+            value: object = int(raw)
+        except ValueError:
+            try:
+                value = float(raw)
+            except ValueError:
+                value = raw
+        out[key.strip()] = value
+    return out
+
+
+def _build_backend(args: argparse.Namespace):
+    if args.backend == "direct":
+        return make_backend("direct", None), None
+    machine = MACHINES[args.machine]
+    world = SimWorld(nodes=args.nodes, procs_per_node=args.procs_per_node,
+                     machine=machine)
+    return make_backend(args.backend, world), world
+
+
+def cmd_models(_args: argparse.Namespace) -> int:
+    """List registered models."""
+    for name, description in available_models().items():
+        defaults = get_model(name).defaults
+        params = ", ".join(f"{k}={v}" for k, v in defaults.items())
+        print(f"{name:20s} {description}")
+        print(f"{'':20s}   defaults: {params}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """Build a model and run DMRG on it."""
+    overrides = _parse_params(args.param or [])
+    lattice, sites, opsum, config_state = build_model(args.model, **overrides)
+    mpo = build_mpo(opsum, sites)
+    psi0 = MPS.product_state(sites, config_state)
+    backend, world = _build_backend(args)
+
+    print(f"model       : {args.model} ({lattice.nsites} sites, "
+          f"{len(opsum)} terms, MPO k = {mpo.max_bond_dimension()})")
+    print(f"engine      : {args.engine}, backend: {args.backend}"
+          + (f" on {world.nodes}x{world.procs_per_node} ranks "
+             f"({world.machine.name})" if world else ""))
+
+    sweeps = Sweeps.ramp(args.maxdim, args.nsweeps, cutoff=args.cutoff)
+    config = DMRGConfig(sweeps=sweeps, verbose=args.verbose)
+    t0 = time.perf_counter()
+
+    report: Dict[str, object] = {"model": args.model, "engine": args.engine,
+                                 "backend": args.backend,
+                                 "maxdim": args.maxdim,
+                                 "nsweeps": args.nsweeps}
+    if args.engine == "two-site":
+        result, psi = dmrg(mpo, psi0, config, backend=backend)
+        energies = [result.energy]
+        states = [psi]
+    elif args.engine == "single-site":
+        result, psi = single_site_dmrg(mpo, psi0, config, backend=backend)
+        energies = [result.energy]
+        states = [psi]
+    elif args.engine == "excited":
+        pairs = find_lowest_states(mpo, psi0, args.nstates,
+                                   maxdim=args.maxdim, nsweeps=args.nsweeps,
+                                   cutoff=args.cutoff, backend=backend)
+        energies = [e for e, _ in pairs]
+        states = [s for _, s in pairs]
+        psi = states[0]
+    else:  # pragma: no cover - argparse restricts choices
+        raise ValueError(f"unknown engine {args.engine!r}")
+    seconds = time.perf_counter() - t0
+
+    print(f"energy      : {energies[0]:+.10f}")
+    if len(energies) > 1:
+        for k, e in enumerate(energies[1:], start=1):
+            print(f"  level {k}   : {e:+.10f}  (gap {e - energies[0]:.6f})")
+    print(f"bond dim    : {psi.max_bond_dimension()}")
+    print(f"wall time   : {seconds:.2f} s")
+    report.update({"energies": energies, "seconds": seconds,
+                   "max_bond_dimension": psi.max_bond_dimension()})
+
+    if args.measure:
+        m = measure(psi, mpo, profile_ops=args.measure)
+        print(m.summary())
+        report["variance"] = m.variance
+        report["profiles"] = {k: [float(x) for x in v]
+                              for k, v in m.profiles.items()}
+    if world is not None:
+        modelled = world.profiler.total_seconds()
+        print(f"modelled time on {world.machine.name}: {modelled:.3f} s")
+        report["modelled_seconds"] = modelled
+
+    if args.save_state:
+        save_mps(args.save_state, psi, extra={"energy": energies[0]})
+        print(f"state saved : {args.save_state}")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2)
+        print(f"report saved: {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Distributed-memory DMRG reproduction (SC'20) — CLI")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_models = sub.add_parser("models", help="list registered models")
+    p_models.set_defaults(func=cmd_models)
+
+    p_run = sub.add_parser("run", help="run DMRG on a registered model")
+    p_run.add_argument("--model", required=True,
+                       help="registered model name (see `repro models`)")
+    p_run.add_argument("--param", action="append", metavar="KEY=VALUE",
+                       help="override a model parameter (repeatable)")
+    p_run.add_argument("--engine", default="two-site",
+                       choices=["two-site", "single-site", "excited"])
+    p_run.add_argument("--nstates", type=int, default=2,
+                       help="number of states for --engine excited")
+    p_run.add_argument("--maxdim", type=int, default=64)
+    p_run.add_argument("--nsweeps", type=int, default=8)
+    p_run.add_argument("--cutoff", type=float, default=1e-10)
+    p_run.add_argument("--backend", default="direct",
+                       choices=["direct", "list", "sparse-dense",
+                                "sparse-sparse"])
+    p_run.add_argument("--machine", default="blue-waters",
+                       choices=sorted(MACHINES))
+    p_run.add_argument("--nodes", type=int, default=1)
+    p_run.add_argument("--procs-per-node", type=int, default=16)
+    p_run.add_argument("--measure", nargs="*", default=None, metavar="OP",
+                       help="local operators to profile (e.g. Sz Ntot)")
+    p_run.add_argument("--save-state", default=None,
+                       help="write the optimized MPS to this .npz file")
+    p_run.add_argument("--output", default=None,
+                       help="write a JSON report to this file")
+    p_run.add_argument("--verbose", action="store_true")
+    p_run.set_defaults(func=cmd_run)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,118 @@
+"""Dense distributed tensors (the simulated Cyclops dense tensor).
+
+A :class:`DistTensor` pairs a NumPy array (the exact global data) with a
+cyclic :class:`~repro.ctf.distribution.Distribution` over the ranks of a
+:class:`~repro.ctf.world.SimWorld`.  Contractions compute the exact result
+locally while charging the world's cost model for the distributed execution —
+the same separation of "what is computed" from "what it costs" that lets the
+benchmark harness reproduce the paper's scaling figures without the original
+machines.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..perf import flops as flopcount
+from .distribution import Distribution
+from .world import SimWorld
+
+
+class DistTensor:
+    """A dense tensor distributed cyclically over a simulated machine."""
+
+    def __init__(self, data: np.ndarray, world: SimWorld,
+                 distribution: Distribution | None = None):
+        self.data = np.asarray(data)
+        self.world = world
+        self.distribution = distribution if distribution is not None else \
+            Distribution.build(self.data.shape, world.nprocs)
+        if tuple(self.distribution.shape) != tuple(self.data.shape):
+            raise ValueError("distribution shape does not match data shape")
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def zeros(cls, shape: Sequence[int], world: SimWorld,
+              dtype=np.float64) -> "DistTensor":
+        """An all-zero distributed tensor."""
+        return cls(np.zeros(tuple(shape), dtype=dtype), world)
+
+    @classmethod
+    def random(cls, shape: Sequence[int], world: SimWorld,
+               rng: np.random.Generator | None = None) -> "DistTensor":
+        """A standard-normal distributed tensor."""
+        rng = rng if rng is not None else np.random.default_rng()
+        return cls(rng.standard_normal(tuple(shape)), world)
+
+    # -- structure ----------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        """Global tensor shape."""
+        return tuple(self.data.shape)
+
+    @property
+    def size(self) -> int:
+        """Total number of elements."""
+        return int(self.data.size)
+
+    @property
+    def ndim(self) -> int:
+        """Number of modes."""
+        return self.data.ndim
+
+    def local_part(self, rank: int) -> np.ndarray:
+        """The sub-array owned by ``rank`` under the cyclic layout."""
+        idx = self.distribution.local_indices(rank)
+        return self.data[np.ix_(*idx)] if idx else self.data
+
+    def to_numpy(self) -> np.ndarray:
+        """The full (gathered) array."""
+        return self.data
+
+    def norm(self) -> float:
+        """Frobenius norm."""
+        return float(np.linalg.norm(self.data))
+
+    # -- operations ----------------------------------------------------------
+    def contract(self, other: "DistTensor",
+                 axes: tuple[Sequence[int], Sequence[int]]) -> "DistTensor":
+        """Contract with another distributed tensor (dense 3D-algorithm cost)."""
+        if other.world is not self.world:
+            raise ValueError("tensors live on different worlds")
+        result = np.tensordot(self.data, other.data, axes=axes)
+        nflops = flopcount.contraction_flops(self.data.shape, other.data.shape,
+                                             tuple(axes[0]), tuple(axes[1]))
+        flopcount.add_flops(nflops, "gemm")
+        self.world.charge_dense_contraction(nflops, self.size, other.size,
+                                            result.size)
+        return DistTensor(result, self.world)
+
+    def transpose(self, perm: Sequence[int]) -> "DistTensor":
+        """Permute modes (charged as a CTF mapping change)."""
+        self.world.charge_redistribution(self.size)
+        return DistTensor(np.ascontiguousarray(np.transpose(self.data, perm)),
+                          self.world)
+
+    def redistribute(self, nprocs: int | None = None) -> "DistTensor":
+        """Re-map the tensor onto a (possibly different) processor grid."""
+        self.world.charge_redistribution(self.size)
+        dist = Distribution.build(self.shape,
+                                  nprocs if nprocs else self.world.nprocs)
+        return DistTensor(self.data, self.world, dist)
+
+    def __add__(self, other: "DistTensor") -> "DistTensor":
+        return DistTensor(self.data + other.data, self.world, self.distribution)
+
+    def __sub__(self, other: "DistTensor") -> "DistTensor":
+        return DistTensor(self.data - other.data, self.world, self.distribution)
+
+    def __mul__(self, scalar) -> "DistTensor":
+        return DistTensor(self.data * scalar, self.world, self.distribution)
+
+    __rmul__ = __mul__
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"DistTensor(shape={self.shape}, grid={self.distribution.grid}, "
+                f"nodes={self.world.nodes})")

@@ -1,0 +1,61 @@
+"""Distributed dense linear algebra (ScaLAPACK stand-ins).
+
+The paper performs the DMRG SVD through ScaLAPACK's ``pdgesvd`` "so as to
+minimize redistribution costs of moving data onto a single node" (Section
+IV-A).  Here the factorizations are computed exactly with LAPACK while the
+distributed execution cost (compute + communication of a 2D block-cyclic
+``pdgesvd``) is charged to the world's profiler.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..perf import flops as flopcount
+from .dense_tensor import DistTensor
+from .world import SimWorld
+
+
+def distributed_svd(matrix: np.ndarray, world: SimWorld,
+                    full_matrices: bool = False
+                    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """SVD of a (conceptually block-cyclic) distributed matrix."""
+    u, s, vh = np.linalg.svd(matrix, full_matrices=full_matrices)
+    flopcount.add_flops(flopcount.svd_flops(*matrix.shape), "svd")
+    world.charge_svd(*matrix.shape)
+    return u, s, vh
+
+
+def distributed_qr(matrix: np.ndarray, world: SimWorld
+                   ) -> Tuple[np.ndarray, np.ndarray]:
+    """QR of a distributed matrix (``pdgeqrf`` model)."""
+    q, r = np.linalg.qr(matrix, mode="reduced")
+    flopcount.add_flops(flopcount.qr_flops(*matrix.shape), "svd")
+    world.charge_svd(*matrix.shape)
+    return q, r
+
+
+def distributed_eigh(matrix: np.ndarray, world: SimWorld
+                     ) -> Tuple[np.ndarray, np.ndarray]:
+    """Hermitian eigendecomposition of a distributed matrix (``pdsyevd`` model)."""
+    evals, evecs = np.linalg.eigh(matrix)
+    n = matrix.shape[0]
+    flopcount.add_flops(9.0 * n ** 3, "svd")
+    world.charge_svd(n, n)
+    return evals, evecs
+
+
+def matricize(tensor: DistTensor, row_axes, col_axes) -> np.ndarray:
+    """Fold a distributed tensor into a matrix ('wrapping' the indices).
+
+    The paper wraps tensor indices into an effective order-2 matrix with a row
+    and a column index before calling the distributed SVD; the reshuffle is
+    charged as a redistribution.
+    """
+    perm = list(row_axes) + list(col_axes)
+    data = np.transpose(tensor.to_numpy(), perm)
+    nrows = int(np.prod([tensor.shape[a] for a in row_axes])) if row_axes else 1
+    tensor.world.charge_redistribution(tensor.size)
+    return data.reshape(nrows, -1)

@@ -1,0 +1,224 @@
+"""Contraction mapping: choosing how a distributed contraction is executed.
+
+Cyclops maps every tensor contraction onto a processor grid and selects a
+matrix-multiplication algorithm for it — 2D SUMMA when memory is tight,
+communication-avoiding 2.5D/3D variants when extra memory is available for
+replication.  Table II of the paper encodes exactly this choice: the
+block-wise contractions of the ``list`` algorithm are assumed to run with the
+minimal-communication (3D, ``O(M_D / p^{2/3})`` words) mapping, while the
+single whole-tensor sparse contractions use a 2D sparse SUMMA
+(``O(M_D / p^{1/2})`` words).
+
+This module makes the decision explicit and testable: given the GEMM
+dimensions of a (matricized) contraction, the available memory per rank, and a
+:class:`~repro.ctf.collectives.CollectiveModel`, it estimates the
+communication volume, synchronization count and time of each candidate
+algorithm and picks the cheapest one that fits in memory — the same
+memory-dependent behaviour the paper attributes to Cyclops ("the algorithms
+used by Cyclops ... have a cost that depends on available memory").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .collectives import CollectiveModel
+from .distribution import factor_processor_grid
+
+
+# --------------------------------------------------------------------------- #
+# problem description
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class GemmShape:
+    """Dimensions of a matricized contraction ``C[m, n] += A[m, k] B[k, n]``."""
+
+    m: int
+    n: int
+    k: int
+
+    @property
+    def flops(self) -> float:
+        """Classical matrix-multiplication flop count."""
+        return 2.0 * self.m * self.n * self.k
+
+    @property
+    def words_a(self) -> float:
+        return float(self.m) * self.k
+
+    @property
+    def words_b(self) -> float:
+        return float(self.k) * self.n
+
+    @property
+    def words_c(self) -> float:
+        return float(self.m) * self.n
+
+    @property
+    def total_words(self) -> float:
+        return self.words_a + self.words_b + self.words_c
+
+
+def gemm_shape_of_contraction(shape_a: Sequence[int], shape_b: Sequence[int],
+                              axes_a: Sequence[int], axes_b: Sequence[int]
+                              ) -> GemmShape:
+    """The GEMM dimensions of a tensor contraction (tensordot convention)."""
+    axes_a = [int(a) % len(shape_a) for a in axes_a]
+    axes_b = [int(b) % len(shape_b) for b in axes_b]
+    k = 1
+    for ax_a, ax_b in zip(axes_a, axes_b):
+        if shape_a[ax_a] != shape_b[ax_b]:
+            raise ValueError("contracted extents differ")
+        k *= int(shape_a[ax_a])
+    m = int(np.prod([shape_a[i] for i in range(len(shape_a))
+                     if i not in axes_a], dtype=np.int64)) if shape_a else 1
+    n = int(np.prod([shape_b[i] for i in range(len(shape_b))
+                     if i not in axes_b], dtype=np.int64)) if shape_b else 1
+    return GemmShape(max(m, 1), max(n, 1), max(k, 1))
+
+
+# --------------------------------------------------------------------------- #
+# candidate algorithms
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class MappingDecision:
+    """One way of executing a distributed contraction."""
+
+    algorithm: str                  # "summa-2d", "summa-25d", "summa-3d"
+    grid: Tuple[int, ...]
+    replication: int                # the "c" of 2.5D algorithms (1 for 2D)
+    words_per_rank: float           # communication volume along the critical path
+    supersteps: float               # global synchronizations
+    memory_words_per_rank: float    # working-set size per rank
+    seconds: float                  # modelled communication time
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"MappingDecision({self.algorithm}, grid={self.grid}, "
+                f"c={self.replication}, words/rank={self.words_per_rank:.3g})")
+
+
+def _grid_2d(nprocs: int) -> Tuple[int, int]:
+    """A near-square 2D factorization of the rank count."""
+    best = (nprocs, 1)
+    for a in range(1, int(math.isqrt(nprocs)) + 1):
+        if nprocs % a == 0:
+            best = (nprocs // a, a)
+    return best
+
+
+def summa_2d(shape: GemmShape, nprocs: int,
+             model: CollectiveModel) -> MappingDecision:
+    """2D SUMMA on a ``pr x pc`` grid (no replication)."""
+    pr, pc = _grid_2d(nprocs)
+    # every rank receives its panel of A broadcast along rows and of B along
+    # columns once per outer-product step; total words per rank:
+    words = shape.words_a / pr + shape.words_b / pc
+    steps = max(min(pr, pc), 1)
+    comm = model.broadcast(shape.words_a / (pr * pc), pc) + \
+        model.broadcast(shape.words_b / (pr * pc), pr)
+    seconds = steps * comm.seconds
+    # owned blocks of A, B, C plus one step's broadcast panels
+    memory = 2.0 * (shape.words_a + shape.words_b) / nprocs \
+        + shape.words_c / nprocs
+    return MappingDecision("summa-2d", (pr, pc), 1, words, float(steps),
+                           memory, seconds)
+
+
+def summa_25d(shape: GemmShape, nprocs: int, replication: int,
+              model: CollectiveModel) -> MappingDecision:
+    """Communication-avoiding 2.5D SUMMA with ``replication`` copies of C."""
+    c = max(int(replication), 1)
+    c = min(c, max(int(round(nprocs ** (1.0 / 3.0))), 1))
+    base = max(nprocs // c, 1)
+    pr, pc = _grid_2d(base)
+    words = (shape.words_a + shape.words_b) / math.sqrt(max(nprocs * c, 1)) \
+        + shape.words_c / base
+    steps = max(min(pr, pc) // c, 1) + 1      # +1 for the final reduction over c
+    comm = model.broadcast((shape.words_a + shape.words_b) / max(nprocs, 1),
+                           max(pr, pc))
+    reduce_c = model.allreduce(shape.words_c / base, c)
+    seconds = steps * comm.seconds + reduce_c.seconds
+    # c replicated copies of the A/B working set plus the locally owned slab of C
+    memory = 2.0 * c * (shape.words_a + shape.words_b) / nprocs \
+        + shape.words_c / base
+    algo = "summa-3d" if c >= max(int(round(nprocs ** (1.0 / 3.0))), 1) and c > 1 \
+        else ("summa-25d" if c > 1 else "summa-2d")
+    return MappingDecision(algo, (pr, pc, c), c, words, float(steps), memory,
+                           seconds)
+
+
+def summa_3d(shape: GemmShape, nprocs: int,
+             model: CollectiveModel) -> MappingDecision:
+    """Fully replicated 3D algorithm (maximum memory, minimum communication)."""
+    c = max(int(round(nprocs ** (1.0 / 3.0))), 1)
+    return summa_25d(shape, nprocs, c, model)
+
+
+def candidate_mappings(shape: GemmShape, nprocs: int,
+                       model: CollectiveModel) -> List[MappingDecision]:
+    """All candidate algorithm/replication choices for a contraction."""
+    cands = [summa_2d(shape, nprocs, model)]
+    c = 2
+    cmax = max(int(round(nprocs ** (1.0 / 3.0))), 1)
+    while c <= cmax:
+        cands.append(summa_25d(shape, nprocs, c, model))
+        c *= 2
+    if cmax > 1:
+        cands.append(summa_3d(shape, nprocs, model))
+    return cands
+
+
+def choose_mapping(shape: GemmShape, nprocs: int, model: CollectiveModel, *,
+                   memory_words_per_rank: float | None = None
+                   ) -> MappingDecision:
+    """The cheapest mapping that fits in the per-rank memory budget.
+
+    Without a memory budget the most communication-avoiding candidate wins
+    (the paper's assumption for block-wise contractions); with a budget, the
+    replication factor is limited exactly the way Cyclops limits it, which is
+    how the sparse single-tensor algorithms end up on the
+    ``O(M_D / p^{1/2})``-word 2D mappings of Table II.
+    """
+    cands = candidate_mappings(shape, nprocs, model)
+    if memory_words_per_rank is not None:
+        fitting = [c for c in cands
+                   if c.memory_words_per_rank <= memory_words_per_rank]
+        if not fitting:
+            # nothing fits: fall back to the smallest-footprint candidate
+            return min(cands, key=lambda c: c.memory_words_per_rank)
+        cands = fitting
+    return min(cands, key=lambda c: (c.seconds, c.words_per_rank))
+
+
+# --------------------------------------------------------------------------- #
+# redistribution
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class RedistributionPlan:
+    """Cost of changing a tensor's processor-grid layout."""
+
+    elements: float
+    words_per_rank: float
+    seconds: float
+
+
+def redistribution_plan(total_elements: float, nprocs: int,
+                        model: CollectiveModel) -> RedistributionPlan:
+    """An all-to-all layout change of a distributed tensor.
+
+    Cyclops calls this between contractions whenever the preferred mappings of
+    consecutive operations differ; the paper's Fig. 7 groups it under "CTF
+    transposition".
+    """
+    per_rank = total_elements / max(nprocs, 1)
+    cost = model.alltoall(per_rank, max(nprocs, 1))
+    return RedistributionPlan(total_elements, per_rank, cost.seconds)
+
+
+def tensor_grid_for_shape(shape: Sequence[int], nprocs: int) -> Tuple[int, ...]:
+    """Processor grid Cyclops' mapper would assign to a dense tensor."""
+    return factor_processor_grid(nprocs, shape)

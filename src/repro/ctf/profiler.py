@@ -1,0 +1,107 @@
+"""Category profiler mirroring the paper's Fig. 7 time breakdown.
+
+The categories are exactly those of the paper's breakdown plot:
+
+* ``gemm``           — local matrix-matrix multiplication (GEMM / MKL calls)
+* ``communication``  — MPI communication excluding SVD-internal communication
+* ``transposition``  — "CTF transposition": tensor mapping, transpose
+  operations and other small serial overheads
+* ``svd``            — distributed SVD (ScaLAPACK ``pdgesvd``) including its
+  internal communication
+* ``imbalance``      — load imbalance (time spent in barriers)
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict
+
+CATEGORIES = ("gemm", "communication", "transposition", "svd", "imbalance")
+
+
+@dataclass
+class Profiler:
+    """Accumulates modelled (or measured) seconds per category."""
+
+    seconds: Dict[str, float] = field(
+        default_factory=lambda: defaultdict(float))
+    counts: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    comm_words: float = 0.0
+    supersteps: float = 0.0
+    flops: float = 0.0
+
+    def add(self, category: str, seconds: float, *, count: int = 1) -> None:
+        """Charge ``seconds`` of time to ``category``."""
+        if category not in CATEGORIES:
+            raise ValueError(f"unknown category {category!r}; "
+                             f"expected one of {CATEGORIES}")
+        if seconds < 0:
+            raise ValueError("cannot charge negative time")
+        self.seconds[category] += seconds
+        self.counts[category] += count
+
+    def add_communication(self, words: float, supersteps: float,
+                          seconds: float) -> None:
+        """Charge a communication phase (volume, synchronizations, time)."""
+        self.comm_words += words
+        self.supersteps += supersteps
+        self.add("communication", seconds)
+
+    def add_flops(self, flops: float) -> None:
+        """Record executed flops (for performance-rate computation)."""
+        self.flops += flops
+
+    def total_seconds(self) -> float:
+        """Total modelled time."""
+        return float(sum(self.seconds.values()))
+
+    def breakdown(self) -> Dict[str, float]:
+        """Percentage of time per category (the paper's Fig. 7 quantity)."""
+        total = self.total_seconds()
+        if total <= 0:
+            return {c: 0.0 for c in CATEGORIES}
+        return {c: 100.0 * self.seconds.get(c, 0.0) / total for c in CATEGORIES}
+
+    def gflops_rate(self) -> float:
+        """Aggregate performance rate in GFlop/s over the modelled time."""
+        total = self.total_seconds()
+        return self.flops / total / 1e9 if total > 0 else 0.0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.seconds.clear()
+        self.counts.clear()
+        self.comm_words = 0.0
+        self.supersteps = 0.0
+        self.flops = 0.0
+
+    def merge(self, other: "Profiler") -> None:
+        """Accumulate another profiler's totals into this one."""
+        for cat, sec in other.seconds.items():
+            self.seconds[cat] += sec
+        for cat, cnt in other.counts.items():
+            self.counts[cat] += cnt
+        self.comm_words += other.comm_words
+        self.supersteps += other.supersteps
+        self.flops += other.flops
+
+    @contextmanager
+    def section(self, category: str):
+        """Measure wall-clock time of a real code section into a category."""
+        import time
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(category, time.perf_counter() - t0)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict snapshot (seconds per category plus totals)."""
+        out = {c: self.seconds.get(c, 0.0) for c in CATEGORIES}
+        out["total"] = self.total_seconds()
+        out["comm_words"] = self.comm_words
+        out["supersteps"] = self.supersteps
+        out["flops"] = self.flops
+        return out

@@ -1,0 +1,139 @@
+"""The simulated parallel machine ("world") and its cost accounting.
+
+A :class:`SimWorld` plays the role MPI_COMM_WORLD plus the Cyclops runtime play
+in the paper's code: it knows how many nodes and ranks exist, which machine
+they run on, and charges every tensor operation's modelled time to a
+:class:`~repro.ctf.profiler.Profiler` broken down into the paper's Fig. 7
+categories.  All numerics remain exact (performed locally by NumPy); only the
+*time* is modelled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..perf import flops as flopcount
+from .bsp import (CommCost, blockwise_contraction_comm, dense_contraction_comm,
+                  load_imbalance_fraction, parallel_gemm_efficiency,
+                  redistribution_comm, scalapack_svd_comm,
+                  sparse_contraction_comm)
+from .machine import LAPTOP, MachineSpec
+from .profiler import Profiler
+
+
+@dataclass
+class SimWorld:
+    """A virtual parallel machine: nodes x ranks-per-node on a given system."""
+
+    nodes: int = 1
+    procs_per_node: int = 16
+    machine: MachineSpec = LAPTOP
+    profiler: Profiler = field(default_factory=Profiler)
+
+    def __post_init__(self):
+        if self.nodes < 1 or self.procs_per_node < 1:
+            raise ValueError("nodes and procs_per_node must be positive")
+
+    @property
+    def nprocs(self) -> int:
+        """Total number of MPI ranks."""
+        return self.nodes * self.procs_per_node
+
+    # ------------------------------------------------------------------ #
+    # charging helpers (each returns the modelled seconds it charged)
+    # ------------------------------------------------------------------ #
+    def _charge_comm(self, comm: CommCost) -> float:
+        seconds = self.machine.comm_seconds(comm.words, self.nodes,
+                                            comm.supersteps,
+                                            procs_per_node=self.procs_per_node)
+        self.profiler.add_communication(comm.words, comm.supersteps, seconds)
+        return seconds
+
+    def _charge_transpose(self, elements: float) -> float:
+        # tensor mapping/refolding touches every element a constant number of
+        # times at (modelled) memory-copy speed, scaled by the machine's
+        # mapping overhead factor
+        copy_rate = 5e9 * self.nodes  # elements / second
+        seconds = self.machine.transpose_overhead * elements / copy_rate * 10.0
+        self.profiler.add("transposition", seconds)
+        return seconds
+
+    def charge_dense_contraction(self, flops: float, size_a: float,
+                                 size_b: float, size_c: float) -> float:
+        """One contraction of whole dense distributed tensors."""
+        eff = parallel_gemm_efficiency(flops, self.nprocs)
+        gemm = self.machine.gemm_seconds(flops, self.nodes, eff)
+        self.profiler.add("gemm", gemm)
+        self.profiler.add_flops(flops)
+        comm = self._charge_comm(
+            dense_contraction_comm(size_a, size_b, size_c, self.nprocs))
+        trans = self._charge_transpose(size_a + size_b + size_c)
+        return gemm + comm + trans
+
+    def charge_block_contraction(self, flops: float, size_a: float,
+                                 size_b: float, size_c: float,
+                                 num_blocks: int = 1,
+                                 largest_block_share: float = 1.0) -> float:
+        """One block-pair contraction inside the list algorithm."""
+        eff = parallel_gemm_efficiency(flops, self.nprocs)
+        gemm = self.machine.gemm_seconds(flops, self.nodes, eff)
+        self.profiler.add("gemm", gemm)
+        self.profiler.add_flops(flops)
+        comm = self._charge_comm(
+            blockwise_contraction_comm(size_a, size_b, size_c, self.nprocs))
+        trans = self._charge_transpose(size_a + size_b + size_c)
+        imb = gemm * load_imbalance_fraction(num_blocks, largest_block_share,
+                                             self.nprocs)
+        self.profiler.add("imbalance", imb)
+        return gemm + comm + trans + imb
+
+    def charge_sparse_contraction(self, flops: float, nnz_a: float,
+                                  nnz_b: float, nnz_c: float) -> float:
+        """One contraction of whole sparse distributed tensors."""
+        eff = parallel_gemm_efficiency(flops, self.nprocs,
+                                       grain_flops=5.0e5)
+        kernel = self.machine.sparse_seconds(flops, self.nodes, eff)
+        self.profiler.add("gemm", kernel)
+        self.profiler.add_flops(flops)
+        comm = self._charge_comm(
+            sparse_contraction_comm(nnz_a, nnz_b, nnz_c, self.nprocs))
+        trans = self._charge_transpose(nnz_a + nnz_b + nnz_c)
+        return kernel + comm + trans
+
+    def charge_svd(self, rows: int, cols: int) -> float:
+        """One distributed SVD (ScaLAPACK ``pdgesvd`` model)."""
+        flops = flopcount.svd_flops(rows, cols)
+        compute = self.machine.svd_seconds(flops, self.nodes)
+        comm = scalapack_svd_comm(rows, cols, self.nprocs)
+        seconds = compute + self.machine.comm_seconds(
+            comm.words, self.nodes, comm.supersteps,
+            procs_per_node=self.procs_per_node)
+        self.profiler.add("svd", seconds)
+        self.profiler.add_flops(flops)
+        return seconds
+
+    def charge_redistribution(self, elements: float) -> float:
+        """A layout change of a distributed tensor (CTF mapping change)."""
+        comm = redistribution_comm(elements, self.nprocs)
+        return self._charge_comm(comm) + self._charge_transpose(elements)
+
+    # ------------------------------------------------------------------ #
+    # bookkeeping
+    # ------------------------------------------------------------------ #
+    def memory_per_node_required(self, total_elements: float,
+                                 itemsize: int = 8) -> float:
+        """Bytes per node needed to hold ``total_elements`` distributed items."""
+        return total_elements * itemsize / self.nodes
+
+    def fits_in_memory(self, total_elements: float, itemsize: int = 8) -> bool:
+        """Whether a distributed object fits in the machine's aggregate RAM."""
+        return (self.memory_per_node_required(total_elements, itemsize)
+                <= self.machine.memory_bytes_per_node())
+
+    def modelled_seconds(self) -> float:
+        """Total modelled execution time so far."""
+        return self.profiler.total_seconds()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"SimWorld(nodes={self.nodes}, ppn={self.procs_per_node}, "
+                f"machine={self.machine.name!r})")

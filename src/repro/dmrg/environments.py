@@ -1,0 +1,140 @@
+"""Left and right DMRG environments.
+
+The projected two-site eigenproblem never forms the reduced Hamiltonian ``K``
+explicitly; it is represented by the left environment ``A``, the right
+environment ``B`` and the two MPO site tensors (Fig. 1d and Section II-C).
+Environments are built incrementally as the sweep moves and cached per bond.
+
+Index conventions (legs from left to right):
+
+* left environment  ``L[j]``  : ``(bra_bond_j, mpo_bond_j, ket_bond_j)``
+* right environment ``R[j]``  : ``(bra_bond_{j+1}, mpo_bond_{j+1}, ket_bond_{j+1})``
+
+where the "bra" leg carries the same Index as the MPS tensor's own bond (it
+contracts the conjugated tensor) and the mpo/ket legs carry duals.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..backends.base import ContractionBackend, DirectBackend
+from ..mps.mpo import MPO
+from ..mps.mps import MPS
+from ..symmetry import BlockSparseTensor
+from ..symmetry.charges import zero_charge
+
+
+def left_edge_environment(state: MPS, operator: MPO) -> BlockSparseTensor:
+    """The trivial environment to the left of site 0."""
+    a = state.tensors[0]
+    w = operator.tensors[0]
+    l_bra, l_w = a.indices[0], w.indices[0]
+    blocks = {(0, 0, 0): np.ones((l_bra.dim, l_w.dim, l_bra.dim))}
+    return BlockSparseTensor((l_bra, l_w.dual(), l_bra.dual()), blocks,
+                             flux=zero_charge(a.nsym), check=False)
+
+
+def right_edge_environment(state: MPS, operator: MPO) -> BlockSparseTensor:
+    """The trivial environment to the right of site N-1."""
+    a = state.tensors[-1]
+    w = operator.tensors[-1]
+    r_bra, r_w = a.indices[2], w.indices[3]
+    blocks = {(0, 0, 0): np.ones((r_bra.dim, r_w.dim, r_bra.dim))}
+    return BlockSparseTensor((r_bra, r_w.dual(), r_bra.dual()), blocks,
+                             flux=zero_charge(a.nsym), check=False)
+
+
+def extend_left(env: BlockSparseTensor, a: BlockSparseTensor,
+                w: BlockSparseTensor,
+                backend: ContractionBackend) -> BlockSparseTensor:
+    """Absorb site tensors into a left environment: ``L[j] -> L[j+1]``."""
+    tmp = backend.contract(env, a, axes=([2], [0]))        # (bra_l, w_l, p, r)
+    tmp = backend.contract(tmp, w, axes=([1, 2], [0, 2]))  # (bra_l, r, p', wr)
+    tmp = backend.contract(a.conj(), tmp, axes=([0, 1], [0, 2]))  # (bra_r, ket_r, wr)
+    return tmp.transpose([0, 2, 1])                         # (bra_r, wr, ket_r)
+
+
+def extend_right(env: BlockSparseTensor, a: BlockSparseTensor,
+                 w: BlockSparseTensor,
+                 backend: ContractionBackend) -> BlockSparseTensor:
+    """Absorb site tensors into a right environment: ``R[j] -> R[j-1]``."""
+    tmp = backend.contract(env, a, axes=([2], [2]))         # (bra_r, w_r, l, p)
+    tmp = backend.contract(tmp, w, axes=([1, 3], [3, 2]))   # (bra_r, l, wl, p')
+    tmp = backend.contract(a.conj(), tmp, axes=([2, 1], [0, 3]))  # (bra_l, ket_l, wl)
+    return tmp.transpose([0, 2, 1])                          # (bra_l, wl, ket_l)
+
+
+class EnvironmentCache:
+    """Cached left/right environments for a state/operator pair.
+
+    ``left(j)`` covers sites ``< j`` and ``right(j)`` covers sites ``> j``.
+    The cache is invalidated site-by-site as DMRG updates tensors.
+    """
+
+    def __init__(self, state: MPS, operator: MPO,
+                 backend: Optional[ContractionBackend] = None):
+        if len(state) != len(operator):
+            raise ValueError("state and operator lengths differ")
+        self.state = state
+        self.operator = operator
+        self.backend = backend if backend is not None else DirectBackend()
+        n = len(state)
+        self._left: List[Optional[BlockSparseTensor]] = [None] * n
+        self._right: List[Optional[BlockSparseTensor]] = [None] * n
+        self._left[0] = left_edge_environment(state, operator)
+        self._right[n - 1] = right_edge_environment(state, operator)
+
+    def left(self, j: int) -> BlockSparseTensor:
+        """Environment of all sites strictly to the left of ``j``."""
+        if self._left[j] is None:
+            prev = self.left(j - 1)
+            self._left[j] = extend_left(prev, self.state.tensors[j - 1],
+                                        self.operator.tensors[j - 1],
+                                        self.backend)
+        return self._left[j]
+
+    def right(self, j: int) -> BlockSparseTensor:
+        """Environment of all sites strictly to the right of ``j``."""
+        if self._right[j] is None:
+            nxt = self.right(j + 1)
+            self._right[j] = extend_right(nxt, self.state.tensors[j + 1],
+                                          self.operator.tensors[j + 1],
+                                          self.backend)
+        return self._right[j]
+
+    def invalidate_all(self) -> None:
+        """Drop every cached environment except the trivial edge ones."""
+        n = len(self.state)
+        for k in range(1, n):
+            self._left[k] = None
+        for k in range(0, n - 1):
+            self._right[k] = None
+        self._left[0] = left_edge_environment(self.state, self.operator)
+        self._right[n - 1] = right_edge_environment(self.state, self.operator)
+
+    def invalidate_from(self, j: int) -> None:
+        """Drop cached environments that depend on site ``j`` or beyond/before."""
+        n = len(self.state)
+        for k in range(j + 1, n):
+            self._left[k] = None
+        for k in range(0, j):
+            self._right[k] = None
+
+    def set_left(self, j: int, env: BlockSparseTensor) -> None:
+        """Install a freshly extended left environment at position ``j``."""
+        self._left[j] = env
+
+    def set_right(self, j: int, env: BlockSparseTensor) -> None:
+        """Install a freshly extended right environment at position ``j``."""
+        self._right[j] = env
+
+    def memory_elements(self) -> int:
+        """Total number of stored environment elements (paper: O(N m^2 k))."""
+        total = 0
+        for env in list(self._left) + list(self._right):
+            if env is not None:
+                total += env.nnz
+        return total

@@ -1,0 +1,10 @@
+"""Exact diagonalization (validation substrate)."""
+
+from .exact import (build_hamiltonian, charge_sector_projector, ground_state,
+                    ground_state_energy, site_operator_full,
+                    total_charge_operator)
+
+__all__ = [
+    "build_hamiltonian", "charge_sector_projector", "ground_state",
+    "ground_state_energy", "site_operator_full", "total_charge_operator",
+]

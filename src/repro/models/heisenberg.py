@@ -1,0 +1,66 @@
+"""The J1-J2 Heisenberg model (the paper's "spins" benchmark system).
+
+    H = J1 * sum_<i,j>  S_i . S_j  +  J2 * sum_<<i,j>>  S_i . S_j
+
+with nearest (``nn``) and next-nearest (``nnn``) neighbour bonds of a square
+cylinder.  The paper studies the maximally frustrated point ``J2/J1 = 0.5`` on
+a 20x10 cylinder (Section V).
+"""
+
+from __future__ import annotations
+
+from ..mps.opsum import OpSum
+from ..mps.sites import SiteSet, SpinHalfSite
+from .lattices import Lattice, chain, square_cylinder
+
+
+def heisenberg_opsum(lattice: Lattice, j1: float = 1.0, j2: float = 0.5) -> OpSum:
+    """Operator sum of the J1-J2 Heisenberg model on a lattice.
+
+    ``S_i . S_j`` is expanded as ``Sz Sz + (S+ S- + S- S+)/2`` so every term
+    conserves ``2*Sz``.
+    """
+    os = OpSum()
+    for kind, j in (("nn", j1), ("nnn", j2)):
+        if j == 0.0:
+            continue
+        for b in lattice.bonds_of_kind(kind):
+            os.add(j, "Sz", b.i, "Sz", b.j)
+            os.add(0.5 * j, "S+", b.i, "S-", b.j)
+            os.add(0.5 * j, "S-", b.i, "S+", b.j)
+    return os
+
+
+def heisenberg_sites(nsites: int, conserve: str | None = "Sz") -> SiteSet:
+    """A uniform spin-1/2 site set."""
+    return SiteSet.uniform(SpinHalfSite(conserve), nsites)
+
+
+def neel_configuration(nsites: int) -> list[str]:
+    """The antiferromagnetic product state used to seed DMRG (total Sz = 0)."""
+    return ["Up" if i % 2 == 0 else "Dn" for i in range(nsites)]
+
+
+def j1j2_cylinder_model(lx: int = 20, ly: int = 10, j1: float = 1.0,
+                        j2: float = 0.5, conserve: str | None = "Sz"):
+    """The paper's spin benchmark: J1-J2 Heisenberg on an ``lx x ly`` cylinder.
+
+    Returns ``(lattice, sites, opsum, initial_configuration)``.
+    """
+    lat = square_cylinder(lx, ly, next_nearest=(j2 != 0.0))
+    sites = heisenberg_sites(lat.nsites, conserve)
+    os = heisenberg_opsum(lat, j1, j2)
+    return lat, sites, os, neel_configuration(lat.nsites)
+
+
+def heisenberg_chain_model(n: int, j1: float = 1.0, j2: float = 0.0,
+                           conserve: str | None = "Sz"):
+    """A 1D Heisenberg chain (used for validation against exact results)."""
+    lat = chain(n)
+    if j2 != 0.0:
+        # add next-nearest neighbour bonds along the chain
+        from .lattices import Bond
+        lat.bonds.extend(Bond(i, i + 2, "nnn") for i in range(n - 2))
+    sites = heisenberg_sites(n, conserve)
+    os = heisenberg_opsum(lat, j1, j2)
+    return lat, sites, os, neel_configuration(n)

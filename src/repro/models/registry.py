@@ -1,0 +1,105 @@
+"""A name-based registry of the model builders.
+
+The command-line runner (:mod:`repro.cli`) and the benchmark drivers refer to
+models by short names ("spins", "electrons", "heisenberg-chain", ...); this
+module maps those names onto the builder functions and their default
+parameters.  Every builder returns the same tuple
+``(lattice, sites, opsum, initial_configuration)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Tuple
+
+from .extended_hubbard import square_hubbard_model, uv_hubbard_chain_model
+from .heisenberg import heisenberg_chain_model, j1j2_cylinder_model
+from .hubbard import hubbard_chain_model, triangular_hubbard_model
+from .tfim import tfim_model
+
+ModelBuilder = Callable[..., Tuple]
+
+
+@dataclass(frozen=True)
+class ModelEntry:
+    """One registered model."""
+
+    name: str
+    builder: ModelBuilder
+    description: str
+    defaults: Dict[str, object] = field(default_factory=dict)
+
+    def build(self, **overrides):
+        """Instantiate the model with defaults overridden by ``overrides``."""
+        params = dict(self.defaults)
+        params.update(overrides)
+        return self.builder(**params)
+
+
+_REGISTRY: Dict[str, ModelEntry] = {}
+
+
+def register_model(name: str, builder: ModelBuilder, description: str,
+                   **defaults) -> ModelEntry:
+    """Add a model to the registry (overwrites an existing entry)."""
+    entry = ModelEntry(name, builder, description, dict(defaults))
+    _REGISTRY[name] = entry
+    return entry
+
+
+def get_model(name: str) -> ModelEntry:
+    """Look up a registered model by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown model {name!r}; known models: {known}") from None
+
+
+def build_model(name: str, **overrides):
+    """Build ``(lattice, sites, opsum, configuration)`` for a registered model."""
+    return get_model(name).build(**overrides)
+
+
+def available_models() -> Dict[str, str]:
+    """Mapping of registered model names to their descriptions."""
+    return {name: entry.description for name, entry in sorted(_REGISTRY.items())}
+
+
+# --------------------------------------------------------------------------- #
+# built-in registrations
+# --------------------------------------------------------------------------- #
+register_model(
+    "spins", j1j2_cylinder_model,
+    "J1-J2 Heisenberg model on a square cylinder (the paper's spin system)",
+    lx=20, ly=10, j1=1.0, j2=0.5)
+register_model(
+    "electrons", triangular_hubbard_model,
+    "Triangular-lattice Hubbard model on an XC cylinder (the paper's electron system)",
+    lx=6, ly=6, t=1.0, u=8.5)
+register_model(
+    "heisenberg-chain", heisenberg_chain_model,
+    "1D Heisenberg chain (validation model)", n=16, j1=1.0, j2=0.0)
+register_model(
+    "j1j2-cylinder", j1j2_cylinder_model,
+    "J1-J2 Heisenberg cylinder with configurable size", lx=6, ly=4,
+    j1=1.0, j2=0.5)
+register_model(
+    "hubbard-chain", hubbard_chain_model,
+    "1D Hubbard chain (Rincon et al., Table I)", n=8, t=1.0, u=4.0)
+register_model(
+    "uv-hubbard-chain", uv_hubbard_chain_model,
+    "1D extended (U-V) Hubbard chain (Kantian et al., Table I)", n=8,
+    t=1.0, u=4.0, v=1.0)
+register_model(
+    "square-hubbard", square_hubbard_model,
+    "Square-lattice Hubbard cylinder (Yamada et al., Table I)", lx=4, ly=2,
+    t=1.0, u=4.0)
+register_model(
+    "triangular-hubbard", triangular_hubbard_model,
+    "Triangular Hubbard cylinder with configurable size", lx=4, ly=3,
+    t=1.0, u=8.5)
+register_model(
+    "tfim", tfim_model,
+    "Transverse-field Ising chain (symmetry-free validation model)", n=16,
+    j=1.0, h=1.0)

@@ -1,0 +1,196 @@
+"""AutoMPO: build a (block-sparse) MPO from an operator sum.
+
+This mirrors the ITensor ``AutoMPO`` functionality the paper relies on for its
+Hamiltonians.  The construction is the standard finite-state-automaton MPO
+build: every two-site term opens an "in transit" virtual state at its first
+operator and closes it at its second; on-site terms jump directly from the
+initial to the final state; identity (or Jordan-Wigner string) operators carry
+in-transit states across intermediate sites.  The resulting dense site
+matrices are then sliced into quantum-number blocks, which both produces the
+block-sparse MPO used by the DMRG engine and verifies that the Hamiltonian
+conserves the declared charges.
+
+A truncated block-SVD compression pass (``MPO.compress``) can be applied
+afterwards, reproducing the paper's compressed electron MPO (cutoff 1e-13,
+k = 26 for the 6x6 triangular Hubbard cylinder).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..symmetry import BlockSparseTensor, Index
+from ..symmetry.charges import Charge, add_charges, zero_charge
+from .mpo import MPO
+from .opsum import NormalizedTerm, OpSum, combine_terms, normalize_opsum
+from .sites import SiteSet
+
+
+@dataclass
+class _Transit:
+    """Bookkeeping for a two-site term's in-transit automaton state."""
+
+    term_id: int
+    first_site: int
+    second_site: int
+    first_op: str
+    second_op: str
+    coefficient: complex
+    jw: bool
+    charge: Charge
+
+
+def build_mpo(opsum: OpSum, sites: SiteSet, *, compress: bool = False,
+              cutoff: float = 1e-13, max_dim: int | None = None,
+              dtype=np.float64) -> MPO:
+    """Build an MPO for ``opsum`` over ``sites``.
+
+    Parameters
+    ----------
+    compress:
+        Apply a truncated SVD compression sweep after construction.
+    cutoff / max_dim:
+        Compression parameters (relative discarded weight and bond cap).
+    dtype:
+        Element type of the MPO tensors.  Use ``complex`` for Hamiltonians
+        with complex couplings.
+    """
+    n = len(sites)
+    terms = combine_terms(normalize_opsum(opsum, sites), tol=0.0)
+    if not terms:
+        raise ValueError("operator sum has no terms")
+
+    onsite: Dict[int, List[NormalizedTerm]] = {}
+    transits: List[_Transit] = []
+    for tid, t in enumerate(terms):
+        if len(t.site_ops) == 1:
+            site = t.site_ops[0][0]
+            if not 0 <= site < n:
+                raise ValueError(f"term acts on site {site} outside the lattice")
+            onsite.setdefault(site, []).append(t)
+        elif len(t.site_ops) == 2:
+            (i, op1), (j, op2) = t.site_ops
+            if not (0 <= i < j < n):
+                raise ValueError(f"invalid two-site term on sites {i}, {j}")
+            charge = sites[i].op_charge(op1)
+            closing = sites[j].op_charge(op2)
+            if add_charges(charge, closing) != zero_charge(sites.nsym):
+                raise ValueError(
+                    f"term {t} does not conserve the declared charges")
+            transits.append(_Transit(tid, i, j, op1, op2, t.coefficient,
+                                     jw=bool(t.jw_sites) or
+                                     sites[i].is_fermionic(op1.split("*")[0]),
+                                     charge=charge))
+        else:
+            raise NotImplementedError(
+                "AutoMPO supports one- and two-site terms; "
+                f"got a term spanning {len(t.site_ops)} sites")
+
+    # ------------------------------------------------------------------ #
+    # automaton states per bond.  Bond b sits to the left of site b.
+    # ------------------------------------------------------------------ #
+    INIT, FINAL = "init", "final"
+    bond_states: List[List[Tuple[str, int]]] = []
+    for b in range(n + 1):
+        if b == 0:
+            states: List[Tuple[str, int]] = [(INIT, -1)]
+        elif b == n:
+            states = [(FINAL, -1)]
+        else:
+            states = [(INIT, -1), (FINAL, -1)]
+            for k, tr in enumerate(transits):
+                if tr.first_site + 1 <= b <= tr.second_site:
+                    states.append(("transit", k))
+        bond_states.append(states)
+
+    def state_charge(state: Tuple[str, int]) -> Charge:
+        kind, k = state
+        if kind == "transit":
+            return transits[k].charge
+        return zero_charge(sites.nsym)
+
+    # ------------------------------------------------------------------ #
+    # dense site matrices
+    # ------------------------------------------------------------------ #
+    def _coef(c: complex):
+        """Coerce a coefficient to the MPO dtype (guarding lost imaginary parts)."""
+        if np.dtype(dtype).kind != "c":
+            if abs(c.imag) > 1e-14 * max(1.0, abs(c.real)):
+                raise ValueError(
+                    f"coefficient {c} is complex; build the MPO with dtype=complex")
+            return c.real
+        return c
+
+    dense_ws: List[np.ndarray] = []
+    for j in range(n):
+        left, right = bond_states[j], bond_states[j + 1]
+        lpos = {s: i for i, s in enumerate(left)}
+        rpos = {s: i for i, s in enumerate(right)}
+        d = sites[j].dim
+        w = np.zeros((len(left), d, d, len(right)), dtype=dtype)
+        ident = sites[j].op("Id")
+        if (INIT, -1) in lpos and (INIT, -1) in rpos:
+            w[lpos[(INIT, -1)], :, :, rpos[(INIT, -1)]] += ident
+        if (FINAL, -1) in lpos and (FINAL, -1) in rpos:
+            w[lpos[(FINAL, -1)], :, :, rpos[(FINAL, -1)]] += ident
+        # on-site terms
+        final_key = (FINAL, -1) if (FINAL, -1) in rpos else None
+        if j == n - 1:
+            final_key = (FINAL, -1)
+        for t in onsite.get(j, []):
+            op = sites[j].op(t.site_ops[0][1]).astype(dtype)
+            w[lpos[(INIT, -1)], :, :, rpos[final_key]] += _coef(t.coefficient) * op
+        # two-site terms
+        for k, tr in enumerate(transits):
+            if tr.first_site == j:
+                op = sites[j].op(tr.first_op).astype(dtype)
+                w[lpos[(INIT, -1)], :, :, rpos[("transit", k)]] += \
+                    _coef(tr.coefficient) * op
+            elif tr.first_site < j < tr.second_site:
+                carry = sites[j].op("F") if j in set(
+                    range(tr.first_site + 1, tr.second_site)) and tr.jw \
+                    else ident
+                w[lpos[("transit", k)], :, :, rpos[("transit", k)]] += carry
+            elif tr.second_site == j:
+                op = sites[j].op(tr.second_op).astype(dtype)
+                w[lpos[("transit", k)], :, :, rpos[(FINAL, -1)]] += op
+        dense_ws.append(w)
+
+    # ------------------------------------------------------------------ #
+    # blockify: sort automaton states by charge and slice into QN blocks
+    # ------------------------------------------------------------------ #
+    perms: List[np.ndarray] = []
+    bond_indices: List[Index] = []
+    for b in range(n + 1):
+        states = bond_states[b]
+        charges = [state_charge(s) for s in states]
+        order = sorted(range(len(states)), key=lambda i: charges[i])
+        perms.append(np.asarray(order, dtype=np.int64))
+        sorted_charges = [charges[i] for i in order]
+        # merge runs of equal charge into sectors
+        sectors: List[Charge] = []
+        dims: List[int] = []
+        for q in sorted_charges:
+            if sectors and sectors[-1] == q:
+                dims[-1] += 1
+            else:
+                sectors.append(q)
+                dims.append(1)
+        bond_indices.append(Index(sectors, dims, flow=1, tag=f"w{b}"))
+
+    tensors: List[BlockSparseTensor] = []
+    for j in range(n):
+        w = dense_ws[j][perms[j]][:, :, :, perms[j + 1]]
+        phys = sites.physical_index(j, flow=1)
+        idx = (bond_indices[j], phys, phys.dual(), bond_indices[j + 1].dual())
+        t = BlockSparseTensor.from_dense(w, idx, flux=zero_charge(sites.nsym),
+                                         require_symmetric=True)
+        tensors.append(t)
+
+    mpo = MPO(sites, tensors)
+    if compress:
+        mpo.compress(cutoff=cutoff, max_dim=max_dim)
+    return mpo

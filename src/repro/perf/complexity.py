@@ -1,0 +1,113 @@
+"""Analytic complexity model (Table II of the paper).
+
+For each algorithm the table lists, per Davidson iteration:
+
+=============  ======================  =====================  ==============  ==================
+Algorithm      Flops                   Davidson memory (M_D)  BSP supersteps  BSP comm cost
+=============  ======================  =====================  ==============  ==================
+list           O((m/q)^3 k d^2)        O((m/q)^2 k d^2)       O(N_b)          O(M_D / p^(2/3))
+sparse-sparse  O((m/q)^3 k d^2)        O((m/q)^2 k d^2)       O(1)            O(M_D / p^(1/2))
+sparse-dense   O(m^3 k d^2)            O(m^2 k d^2)           O(1)            O(M_D / p^(1/2))
+=============  ======================  =====================  ==============  ==================
+
+with environment memory ``O(N (m/q)^2 k)`` for the block-sparse formats, using
+the empirically motivated block model ``b_l = floor((m/q) r^l)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from .block_model import GeometricBlockModel
+
+
+@dataclass
+class ComplexityEntry:
+    """One row of Table II, evaluated for concrete parameters."""
+
+    algorithm: str
+    flops: float
+    davidson_memory: float
+    environment_memory: float
+    bsp_supersteps: float
+    bsp_comm_words: float
+    flops_formula: str
+    memory_formula: str
+    supersteps_formula: str
+    comm_formula: str
+
+
+def _block_sums(model: GeometricBlockModel, m: int) -> Dict[str, float]:
+    dims = np.asarray(model.block_dims(m), dtype=float)
+    return {
+        "nb": float(dims.size),
+        "sum_b": float(dims.sum()),
+        "sum_b2": float((dims ** 2).sum()),
+        "sum_b3": float((dims ** 3).sum()),
+        "largest": float(dims.max()),
+    }
+
+
+def table2_entry(algorithm: str, model: GeometricBlockModel, m: int, k: int,
+                 d: int, nsites: int, nprocs: int) -> ComplexityEntry:
+    """Evaluate one Table II row for the given problem parameters."""
+    s = _block_sums(model, m)
+    nb = s["nb"]
+    if algorithm in ("list", "sparse-sparse"):
+        flops = s["sum_b3"] * k * d ** 2
+        davidson_memory = s["sum_b2"] * k * d ** 2
+        environment_memory = nsites * s["sum_b2"] * k
+        flops_formula = "O((m/q)^3 k d^2)"
+        memory_formula = "O((m/q)^2 k d^2)"
+        if algorithm == "list":
+            supersteps = nb
+            comm = davidson_memory / nprocs ** (2.0 / 3.0)
+            supersteps_formula, comm_formula = "O(N_b)", "O(M_D / p^(2/3))"
+        else:
+            supersteps = 1.0
+            comm = davidson_memory / nprocs ** 0.5
+            supersteps_formula, comm_formula = "O(1)", "O(M_D / p^(1/2))"
+    elif algorithm == "sparse-dense":
+        flops = float(m) ** 3 * k * d ** 2
+        davidson_memory = float(m) ** 2 * k * d ** 2
+        environment_memory = nsites * s["sum_b2"] * k
+        supersteps = 1.0
+        comm = davidson_memory / nprocs ** 0.5
+        flops_formula = "O(m^3 k d^2)"
+        memory_formula = "O(m^2 k d^2)"
+        supersteps_formula, comm_formula = "O(1)", "O(M_D / p^(1/2))"
+    else:
+        raise ValueError(f"unknown algorithm {algorithm!r}")
+    return ComplexityEntry(algorithm, flops, davidson_memory,
+                           environment_memory, supersteps, comm,
+                           flops_formula, memory_formula, supersteps_formula,
+                           comm_formula)
+
+
+def table2(model: GeometricBlockModel, m: int, k: int, d: int, nsites: int,
+           nprocs: int) -> List[ComplexityEntry]:
+    """All three Table II rows."""
+    return [table2_entry(a, model, m, k, d, nsites, nprocs)
+            for a in ("list", "sparse-sparse", "sparse-dense")]
+
+
+def scaling_exponent(model: GeometricBlockModel, quantity: str,
+                     ms: List[int], k: int = 30, d: int = 2,
+                     nsites: int = 200, nprocs: int = 256,
+                     algorithm: str = "list") -> float:
+    """Fitted power-law exponent of a Table II quantity versus ``m``.
+
+    Used by the benchmark harness to verify, e.g., that the flop count of the
+    block-sparse algorithms scales as ``~ m^3`` and the Davidson memory as
+    ``~ m^2``.
+    """
+    xs, ys = [], []
+    for m in ms:
+        entry = table2_entry(algorithm, model, m, k, d, nsites, nprocs)
+        xs.append(np.log(m))
+        ys.append(np.log(getattr(entry, quantity)))
+    slope = np.polyfit(xs, ys, 1)[0]
+    return float(slope)

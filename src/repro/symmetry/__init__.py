@@ -1,0 +1,21 @@
+"""U(1)^k symmetric (block-sparse) tensor algebra.
+
+This subpackage provides the quantum-number bookkeeping of Section II-D of the
+paper and the list-of-blocks tensor representation of Section IV-A, including
+Algorithm 2 (block-pair contraction) and block-wise truncated SVD/QR.
+"""
+
+from .charges import (Charge, add_charges, negate_charge, scale_charge,
+                      sum_charges, zero_charge)
+from .index import Index, fuse_indices
+from .block_tensor import BlockSparseTensor, contract, outer
+from .linalg import (SingularSpectrum, TruncationInfo, qr, spectrum_tensor,
+                     svd)
+from .reshape import FusedMode, fuse_modes, matricize, split_mode
+
+__all__ = [
+    "Charge", "add_charges", "negate_charge", "scale_charge", "sum_charges",
+    "zero_charge", "Index", "fuse_indices", "BlockSparseTensor", "contract",
+    "outer", "SingularSpectrum", "TruncationInfo", "qr", "spectrum_tensor",
+    "svd", "FusedMode", "fuse_modes", "matricize", "split_mode",
+]

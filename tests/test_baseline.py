@@ -1,0 +1,44 @@
+"""Tests for the single-node baseline runner (the ITensor stand-in)."""
+
+import pytest
+
+from repro.baseline import SerialDMRG, serial_reference_energy
+from repro.dmrg import Sweeps
+from repro.models import heisenberg_chain_model
+from repro.mps import MPS, build_mpo
+from repro.ed import ground_state_energy
+
+
+@pytest.fixture(scope="module")
+def problem():
+    lat, sites, opsum, config = heisenberg_chain_model(8)
+    mpo = build_mpo(opsum, sites)
+    psi0 = MPS.product_state(sites, config)
+    exact = ground_state_energy(opsum, sites, charge=sites.total_charge(config))
+    return mpo, psi0, exact
+
+
+class TestSerialBaseline:
+    def test_energy_matches_ed(self, problem):
+        mpo, psi0, exact = problem
+        summary, psi = SerialDMRG(mpo, psi0).run(maxdim=64, nsweeps=7)
+        assert summary.energy == pytest.approx(exact, abs=1e-7)
+        assert psi.max_bond_dimension() == summary.max_bond_dimension
+
+    def test_measures_flops_and_time(self, problem):
+        mpo, psi0, _ = problem
+        summary, _ = SerialDMRG(mpo, psi0).run(maxdim=16, nsweeps=2)
+        assert summary.flops > 0
+        assert summary.seconds > 0
+        assert summary.gflops_rate > 0
+
+    def test_custom_schedule(self, problem):
+        mpo, psi0, _ = problem
+        summary, _ = SerialDMRG(mpo, psi0).run(
+            sweeps=Sweeps.fixed(24, 3, cutoff=1e-9))
+        assert summary.result.sweep_records[-1].max_bond_dim <= 24
+
+    def test_reference_energy_helper(self, problem):
+        mpo, psi0, exact = problem
+        energy = serial_reference_energy(mpo, psi0, maxdim=48, nsweeps=6)
+        assert energy == pytest.approx(exact, abs=1e-6)

@@ -1,0 +1,110 @@
+"""Unit tests for the exact-diagonalization validation substrate."""
+
+import numpy as np
+import pytest
+
+from repro.ed import (build_hamiltonian, charge_sector_projector, ground_state,
+                      ground_state_energy, site_operator_full,
+                      total_charge_operator)
+from repro.models import (heisenberg_chain_model, hubbard_chain_model,
+                          tfim_exact_energy_open_chain, tfim_model)
+from repro.mps import ElectronSite, SiteSet, SpinHalfSite
+
+
+class TestFullSpaceOperators:
+    def test_identity_embedding(self):
+        sites = SiteSet.uniform(SpinHalfSite(), 3)
+        op = site_operator_full(sites, "Sz", 1)
+        assert op.shape == (8, 8)
+        # trace of Sz is zero
+        assert abs(op.diagonal().sum()) < 1e-14
+
+    def test_fermionic_anticommutation_across_sites(self):
+        """Jordan-Wigner strings give proper anticommutation between sites."""
+        sites = SiteSet.uniform(ElectronSite(), 3)
+        a0 = site_operator_full(sites, "Cup", 0)
+        a2dag = site_operator_full(sites, "Cdagup", 2)
+        anti = (a0 @ a2dag + a2dag @ a0).toarray()
+        assert np.allclose(anti, 0.0, atol=1e-12)
+        same = (a0 @ a0).toarray()
+        assert np.allclose(same, 0.0, atol=1e-12)
+
+    def test_number_operator_consistency(self):
+        sites = SiteSet.uniform(ElectronSite(), 2)
+        n0 = site_operator_full(sites, "Nup", 0)
+        c0 = site_operator_full(sites, "Cup", 0)
+        c0d = site_operator_full(sites, "Cdagup", 0)
+        assert np.allclose((c0d @ c0).toarray(), n0.toarray(), atol=1e-12)
+
+
+class TestGroundStates:
+    def test_two_site_heisenberg_singlet(self):
+        lat, sites, opsum, config = heisenberg_chain_model(2, j2=0.0)
+        e = ground_state_energy(opsum, sites)
+        assert e == pytest.approx(-0.75)
+
+    def test_heisenberg_4_site_known_value(self):
+        lat, sites, opsum, config = heisenberg_chain_model(4, j2=0.0)
+        e = ground_state_energy(opsum, sites)
+        # exact open-chain 4-site Heisenberg ground state energy
+        assert e == pytest.approx(-1.6160254037844386, abs=1e-10)
+
+    def test_charge_sector_restriction(self):
+        lat, sites, opsum, config = heisenberg_chain_model(4, j2=0.0)
+        e_all = ground_state_energy(opsum, sites)
+        e_sz0 = ground_state_energy(opsum, sites, charge=(0,))
+        assert e_sz0 == pytest.approx(e_all)  # ground state is in Sz=0
+        e_sz4 = ground_state_energy(opsum, sites, charge=(4,))
+        assert e_sz4 == pytest.approx(0.75)   # fully polarized state
+
+    def test_empty_sector_rejected(self):
+        lat, sites, opsum, config = heisenberg_chain_model(3, j2=0.0)
+        with pytest.raises(ValueError):
+            ground_state_energy(opsum, sites, charge=(5,))
+
+    def test_hubbard_atomic_limit(self):
+        """With t=0, the energy is U per doubly occupied site (here zero)."""
+        lat, sites, opsum, config = hubbard_chain_model(2, t=0.0, u=4.0)
+        e = ground_state_energy(opsum, sites, charge=(2, 0))
+        assert e == pytest.approx(0.0, abs=1e-12)
+
+    def test_hubbard_two_site_exact(self):
+        """Two-site Hubbard at half filling: E = (U - sqrt(U^2+16 t^2)) / 2."""
+        t, u = 1.0, 4.0
+        lat, sites, opsum, config = hubbard_chain_model(2, t=t, u=u)
+        e = ground_state_energy(opsum, sites, charge=(2, 0))
+        assert e == pytest.approx((u - np.sqrt(u ** 2 + 16 * t ** 2)) / 2)
+
+    def test_tfim_matches_free_fermions(self):
+        lat, sites, opsum, config = tfim_model(8, j=1.0, h=0.6)
+        e = ground_state_energy(opsum, sites)
+        assert e == pytest.approx(tfim_exact_energy_open_chain(8, 1.0, 0.6),
+                                  abs=1e-9)
+
+    def test_ground_state_vector_normalized(self):
+        lat, sites, opsum, config = heisenberg_chain_model(4, j2=0.0)
+        evals, evecs = ground_state(opsum, sites, k=2)
+        assert evals[0] <= evals[1]
+        assert np.linalg.norm(evecs[:, 0]) == pytest.approx(1.0)
+
+
+class TestChargeOperators:
+    def test_total_charge_operator(self):
+        sites = SiteSet.uniform(SpinHalfSite(), 3)
+        op = total_charge_operator(sites, 0)
+        diag = op.diagonal()
+        assert diag[0] == 3    # |UpUpUp> has 2Sz = 3
+        assert diag[-1] == -3  # |DnDnDn>
+
+    def test_projector_counts(self):
+        sites = SiteSet.uniform(SpinHalfSite(), 4)
+        mask = charge_sector_projector(sites, (0,))
+        assert mask.sum() == 6  # C(4,2) states with Sz=0
+
+    def test_hamiltonian_commutes_with_charge(self):
+        lat, sites, opsum, config = hubbard_chain_model(3, t=1.0, u=2.0)
+        h = build_hamiltonian(opsum, sites)
+        for component in range(2):
+            q = total_charge_operator(sites, component)
+            comm = (h @ q - q @ h)
+            assert abs(comm).max() < 1e-10

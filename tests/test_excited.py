@@ -1,0 +1,82 @@
+"""Tests for excited-state DMRG (penalty projection)."""
+
+import numpy as np
+import pytest
+
+from repro.dmrg import (DMRGConfig, Sweeps, excited_dmrg, find_lowest_states,
+                        run_dmrg)
+from repro.ed import ground_state
+from repro.models import heisenberg_chain_model, hubbard_chain_model
+from repro.mps import MPS, build_mpo, overlap
+
+
+@pytest.fixture(scope="module")
+def heisenberg_spectrum():
+    """An 8-site Heisenberg chain with its three lowest Sz=0 eigenvalues."""
+    _, sites, opsum, config = heisenberg_chain_model(8)
+    mpo = build_mpo(opsum, sites)
+    psi0 = MPS.product_state(sites, config)
+    charge = sites.total_charge(config)
+    evals, _ = ground_state(opsum, sites, charge=charge, k=3)
+    return sites, opsum, mpo, psi0, np.sort(evals)
+
+
+class TestExcitedDMRG:
+    def test_reduces_to_ground_state_without_penalty(self, heisenberg_spectrum):
+        _, _, mpo, psi0, evals = heisenberg_spectrum
+        config = DMRGConfig(sweeps=Sweeps.ramp(64, 8, cutoff=1e-12))
+        result, _ = excited_dmrg(mpo, psi0, [], config)
+        assert result.energy == pytest.approx(evals[0], abs=1e-7)
+
+    def test_first_excited_state(self, heisenberg_spectrum):
+        _, _, mpo, psi0, evals = heisenberg_spectrum
+        config = DMRGConfig(sweeps=Sweeps.ramp(64, 8, cutoff=1e-12))
+        _, gs = excited_dmrg(mpo, psi0, [], config)
+        result1, ex1 = excited_dmrg(mpo, psi0, [gs], config, weight=30.0)
+        assert result1.energy == pytest.approx(evals[1], abs=1e-5)
+        # the excited state is orthogonal to the ground state
+        assert abs(overlap(gs, ex1)) < 1e-4
+
+    def test_find_lowest_states_orders_energies(self, heisenberg_spectrum):
+        _, _, mpo, psi0, evals = heisenberg_spectrum
+        states = find_lowest_states(mpo, psi0, 3, maxdim=64, nsweeps=8,
+                                    weight=30.0)
+        energies = [e for e, _ in states]
+        assert energies == sorted(energies)
+        assert energies[0] == pytest.approx(evals[0], abs=1e-6)
+        assert energies[1] == pytest.approx(evals[1], abs=1e-4)
+        assert energies[2] == pytest.approx(evals[2], abs=1e-3)
+
+    def test_states_mutually_orthogonal(self, heisenberg_spectrum):
+        _, _, mpo, psi0, _ = heisenberg_spectrum
+        states = find_lowest_states(mpo, psi0, 2, maxdim=64, nsweeps=8,
+                                    weight=30.0)
+        (_, s0), (_, s1) = states
+        assert abs(overlap(s0, s1)) < 1e-4
+
+    def test_invalid_state_count(self, heisenberg_spectrum):
+        _, _, mpo, psi0, _ = heisenberg_spectrum
+        with pytest.raises(ValueError):
+            find_lowest_states(mpo, psi0, 0)
+
+    def test_gap_of_hubbard_chain(self):
+        """Charge sector gap of a small Hubbard chain matches ED."""
+        _, sites, opsum, config = hubbard_chain_model(4, u=4.0)
+        mpo = build_mpo(opsum, sites)
+        psi0 = MPS.product_state(sites, config)
+        charge = sites.total_charge(config)
+        evals, _ = ground_state(opsum, sites, charge=charge, k=2)
+        states = find_lowest_states(mpo, psi0, 2, maxdim=64, nsweeps=8,
+                                    weight=40.0)
+        gap_dmrg = states[1][0] - states[0][0]
+        gap_ed = float(np.sort(evals)[1] - np.sort(evals)[0])
+        assert gap_dmrg == pytest.approx(gap_ed, abs=1e-3)
+
+
+class TestAgainstTwoSiteEngine:
+    def test_penalized_ground_state_matches_plain_engine(self, heisenberg_spectrum):
+        _, _, mpo, psi0, _ = heisenberg_spectrum
+        config = DMRGConfig(sweeps=Sweeps.ramp(48, 6, cutoff=1e-12))
+        res_plain, _ = run_dmrg(mpo, psi0, maxdim=48, nsweeps=6)
+        res_pen, _ = excited_dmrg(mpo, psi0, [], config)
+        assert res_pen.energy == pytest.approx(res_plain.energy, abs=1e-7)

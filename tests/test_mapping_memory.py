@@ -1,0 +1,190 @@
+"""Tests for contraction mapping decisions and the memory tracker."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ctf import (BLUE_WATERS, STAMPEDE2, CollectiveModel, GemmShape,
+                       MemoryTracker, OutOfMemoryError, candidate_mappings,
+                       choose_mapping, dmrg_step_footprint_bytes,
+                       gemm_shape_of_contraction, minimum_nodes,
+                       redistribution_plan, summa_25d, summa_2d, summa_3d,
+                       tensor_grid_for_shape)
+
+
+@pytest.fixture
+def model64():
+    return CollectiveModel.for_machine(BLUE_WATERS, nodes=64,
+                                       procs_per_node=16)
+
+
+class TestGemmShape:
+    def test_flops_and_words(self):
+        s = GemmShape(100, 200, 50)
+        assert s.flops == 2.0 * 100 * 200 * 50
+        assert s.total_words == 100 * 50 + 50 * 200 + 100 * 200
+
+    def test_from_tensor_contraction(self):
+        # (a, b, c) x (c, b, d) over axes (1,2)x(1,0): m=a, n=d, k=b*c
+        s = gemm_shape_of_contraction((4, 5, 6), (6, 5, 7),
+                                      axes_a=(1, 2), axes_b=(1, 0))
+        assert (s.m, s.n, s.k) == (4, 7, 30)
+
+    def test_mismatched_extents_rejected(self):
+        with pytest.raises(ValueError):
+            gemm_shape_of_contraction((4, 5), (6, 7), axes_a=(1,), axes_b=(0,))
+
+    def test_full_contraction_to_scalar(self):
+        s = gemm_shape_of_contraction((4, 5), (4, 5), axes_a=(0, 1),
+                                      axes_b=(0, 1))
+        assert (s.m, s.n, s.k) == (1, 1, 20)
+
+
+class TestMappingDecisions:
+    def test_3d_moves_fewer_words_than_2d(self, model64):
+        shape = GemmShape(4096, 4096, 4096)
+        d2 = summa_2d(shape, 1024, model64)
+        d3 = summa_3d(shape, 1024, model64)
+        assert d3.words_per_rank < d2.words_per_rank
+
+    def test_3d_needs_more_memory_than_2d(self, model64):
+        shape = GemmShape(4096, 4096, 4096)
+        d2 = summa_2d(shape, 1024, model64)
+        d3 = summa_3d(shape, 1024, model64)
+        assert d3.memory_words_per_rank > d2.memory_words_per_rank
+
+    def test_replication_capped_at_cube_root(self, model64):
+        shape = GemmShape(1024, 1024, 1024)
+        d = summa_25d(shape, 64, replication=1000, model=model64)
+        assert d.replication <= 4
+
+    def test_choose_without_budget_prefers_avoiding(self, model64):
+        shape = GemmShape(8192, 8192, 8192)
+        best = choose_mapping(shape, 512, model64)
+        d2 = summa_2d(shape, 512, model64)
+        assert best.seconds <= d2.seconds
+
+    def test_memory_budget_forces_2d(self, model64):
+        shape = GemmShape(8192, 8192, 8192)
+        d2 = summa_2d(shape, 512, model64)
+        tight = choose_mapping(shape, 512, model64,
+                               memory_words_per_rank=d2.memory_words_per_rank)
+        assert tight.replication == 1
+
+    def test_impossible_budget_falls_back_to_smallest(self, model64):
+        shape = GemmShape(4096, 4096, 4096)
+        decision = choose_mapping(shape, 64, model64, memory_words_per_rank=10)
+        cands = candidate_mappings(shape, 64, model64)
+        assert decision.memory_words_per_rank == min(
+            c.memory_words_per_rank for c in cands)
+
+    def test_candidates_include_2d(self, model64):
+        shape = GemmShape(256, 256, 256)
+        names = {c.algorithm for c in candidate_mappings(shape, 64, model64)}
+        assert "summa-2d" in names
+
+    @settings(max_examples=25, deadline=None)
+    @given(m=st.integers(min_value=64, max_value=8192),
+           n=st.integers(min_value=64, max_value=8192),
+           k=st.integers(min_value=64, max_value=8192),
+           p=st.sampled_from([16, 64, 256, 1024]))
+    def test_communication_decreases_with_more_processors(self, m, n, k, p):
+        """The best-available communication volume shrinks with more ranks."""
+        model = CollectiveModel.for_machine(STAMPEDE2, nodes=max(p // 64, 1))
+        shape = GemmShape(m, n, k)
+        few = min(c.words_per_rank
+                  for c in candidate_mappings(shape, p, model))
+        many = min(c.words_per_rank
+                   for c in candidate_mappings(shape, 4 * p, model))
+        assert many <= few + 1e-9
+
+
+class TestRedistribution:
+    def test_plan_scales_with_size(self, model64):
+        small = redistribution_plan(1e6, 64, model64)
+        large = redistribution_plan(1e8, 64, model64)
+        assert large.seconds > small.seconds
+        assert large.words_per_rank == pytest.approx(1e8 / 64)
+
+    def test_tensor_grid_covers_all_ranks(self):
+        grid = tensor_grid_for_shape((4096, 30, 4096), 256)
+        prod = 1
+        for g in grid:
+            prod *= g
+        assert prod == 256
+
+
+class TestMemoryTracker:
+    def test_allocate_and_free(self):
+        tracker = MemoryTracker(BLUE_WATERS, nodes=4)
+        tracker.allocate("mps", 100e9, distributed=True)
+        assert tracker.used_bytes_per_node() == pytest.approx(25e9)
+        tracker.free("mps")
+        assert tracker.used_bytes_per_node() == 0.0
+        assert tracker.peak_bytes_per_node == pytest.approx(25e9)
+
+    def test_replicated_allocation_charges_full_size(self):
+        tracker = MemoryTracker(BLUE_WATERS, nodes=8)
+        tracker.allocate("mpo", 1e9, distributed=False)
+        assert tracker.used_bytes_per_node() == pytest.approx(1e9)
+
+    def test_out_of_memory_raises(self):
+        tracker = MemoryTracker(BLUE_WATERS, nodes=1)   # 64 GB node
+        with pytest.raises(OutOfMemoryError):
+            tracker.allocate("big", 100e9, distributed=True)
+
+    def test_distribution_over_more_nodes_fits(self):
+        tracker = MemoryTracker(BLUE_WATERS, nodes=4)
+        tracker.allocate("big", 100e9, distributed=True)   # 25 GB/node
+        assert tracker.would_fit(50e9)
+
+    def test_duplicate_and_missing_names(self):
+        tracker = MemoryTracker(BLUE_WATERS, nodes=1)
+        tracker.allocate("x", 1e9)
+        with pytest.raises(ValueError):
+            tracker.allocate("x", 1e9)
+        with pytest.raises(KeyError):
+            tracker.free("y")
+
+    def test_free_all_keeps_peak(self):
+        tracker = MemoryTracker(STAMPEDE2, nodes=2)
+        tracker.allocate("a", 10e9)
+        tracker.allocate("b", 20e9)
+        peak = tracker.peak_bytes_per_node
+        tracker.free_all()
+        assert tracker.used_bytes_per_node() == 0.0
+        assert tracker.peak_bytes_per_node == peak
+
+
+class TestMinimumNodes:
+    def test_small_problem_fits_on_one_node(self):
+        assert minimum_nodes(10e9, BLUE_WATERS) == 1
+
+    def test_large_problem_needs_many_nodes(self):
+        assert minimum_nodes(1000e9, BLUE_WATERS) >= 16
+
+    def test_sparse_electron_minimum_matches_paper_shape(self):
+        """Sparse format at m=8192 needs more Stampede2 nodes than BW nodes
+        relative to a single node (4 vs 2 in the paper's setup)."""
+        foot_sparse = dmrg_step_footprint_bytes(8192, 26, 4, nsites=36,
+                                                algorithm="sparse-dense", q=10)
+        bw = minimum_nodes(foot_sparse, BLUE_WATERS)
+        s2 = minimum_nodes(foot_sparse, STAMPEDE2)
+        assert bw >= 1 and s2 >= 1
+        # the list format always needs fewer or equal nodes
+        foot_list = dmrg_step_footprint_bytes(8192, 26, 4, nsites=36,
+                                              algorithm="list", q=10)
+        assert minimum_nodes(foot_list, BLUE_WATERS) <= bw
+
+    def test_replicated_data_limits(self):
+        with pytest.raises(OutOfMemoryError):
+            minimum_nodes(1e9, BLUE_WATERS, replicated_bytes=100e9)
+
+    def test_footprint_model_monotone_in_m(self):
+        small = dmrg_step_footprint_bytes(4096, 26, 4, nsites=36)
+        large = dmrg_step_footprint_bytes(32768, 26, 4, nsites=36)
+        assert large > small
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError):
+            dmrg_step_footprint_bytes(1024, 26, 4, nsites=36, algorithm="dense")

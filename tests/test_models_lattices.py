@@ -1,0 +1,99 @@
+"""Tests for lattice builders and model Hamiltonians."""
+
+import numpy as np
+import pytest
+
+from repro.models import (chain, heisenberg_opsum, hubbard_opsum,
+                          j1j2_cylinder_model, square_cylinder,
+                          triangular_cylinder_xc, triangular_hubbard_model,
+                          tfim_opsum)
+from repro.models.lattices import Bond
+
+
+class TestLattices:
+    def test_chain(self):
+        lat = chain(5)
+        assert lat.nsites == 5
+        assert len(lat.bonds) == 4
+        assert lat.interaction_range() == 1
+
+    def test_chain_periodic(self):
+        lat = chain(5, periodic=True)
+        assert len(lat.bonds) == 5
+
+    def test_square_cylinder_counts(self):
+        lx, ly = 4, 3
+        lat = square_cylinder(lx, ly, next_nearest=False)
+        # vertical bonds: lx*ly (periodic ring), horizontal: (lx-1)*ly
+        assert len(lat.bonds_of_kind("nn")) == lx * ly + (lx - 1) * ly
+        assert len(lat.bonds_of_kind("nnn")) == 0
+
+    def test_square_cylinder_nnn(self):
+        lx, ly = 4, 3
+        lat = square_cylinder(lx, ly, next_nearest=True)
+        assert len(lat.bonds_of_kind("nnn")) == 2 * (lx - 1) * ly
+
+    def test_paper_spin_lattice(self):
+        lat = square_cylinder(20, 10)
+        assert lat.nsites == 200
+        assert lat.interaction_range() <= 2 * 10 + 1
+
+    def test_triangular_cylinder(self):
+        lat = triangular_cylinder_xc(6, 6)
+        assert lat.nsites == 36
+        # each site has 6 neighbours in the bulk of a triangular lattice
+        degrees = [0] * lat.nsites
+        for b in lat.bonds:
+            degrees[b.i] += 1
+            degrees[b.j] += 1
+        assert max(degrees) == 6
+
+    def test_column_helpers(self):
+        lat = square_cylinder(4, 3)
+        assert lat.column_of_site(0) == 0
+        assert lat.column_of_site(11) == 3
+        assert lat.sites_in_column(1) == [3, 4, 5]
+
+    def test_networkx_export(self):
+        lat = square_cylinder(3, 3)
+        g = lat.to_networkx()
+        assert g.number_of_nodes() == 9
+        assert g.number_of_edges() == len({(b.i, b.j) for b in lat.bonds})
+
+    def test_bond_ordering(self):
+        b = Bond(5, 2, "nn").ordered()
+        assert (b.i, b.j) == (2, 5)
+
+
+class TestModelOpSums:
+    def test_heisenberg_term_count(self):
+        lat = square_cylinder(3, 2, next_nearest=True)
+        os = heisenberg_opsum(lat, j1=1.0, j2=0.5)
+        assert len(os) == 3 * len(lat.bonds)
+
+    def test_heisenberg_j2_zero_skips_nnn(self):
+        lat = square_cylinder(3, 2, next_nearest=True)
+        os = heisenberg_opsum(lat, j1=1.0, j2=0.0)
+        assert len(os) == 3 * len(lat.bonds_of_kind("nn"))
+
+    def test_hubbard_term_count(self):
+        lat = triangular_cylinder_xc(3, 2)
+        os = hubbard_opsum(lat, t=1.0, u=8.5)
+        assert len(os) == 4 * len(lat.bonds_of_kind("nn")) + lat.nsites
+
+    def test_tfim_term_count(self):
+        os = tfim_opsum(6, j=1.0, h=0.5)
+        assert len(os) == 5 + 6
+
+    def test_paper_models_configuration(self):
+        lat, sites, os_, config = j1j2_cylinder_model(4, 3)
+        assert sites.total_charge(config) == (0,)
+        lat, sites, os_, config = triangular_hubbard_model(3, 2)
+        n = lat.nsites
+        assert sites.total_charge(config) == (n, 0)
+
+    def test_half_filling_even_sites(self):
+        lat, sites, os_, config = triangular_hubbard_model(2, 2)
+        charges = sites.total_charge(config)
+        assert charges[0] == lat.nsites  # one electron per site
+        assert charges[1] == 0           # Sz = 0

@@ -1,0 +1,174 @@
+"""Unit tests for MPS, MPO, AutoMPO and MPO compression."""
+
+import numpy as np
+import pytest
+
+from repro.ed import build_hamiltonian
+from repro.models import (heisenberg_chain_model, hubbard_chain_model,
+                          triangular_hubbard_model, tfim_model)
+from repro.mps import MPS, SiteSet, SpinHalfSite, build_mpo, overlap
+from repro.mps.mps import bond_structure
+
+
+@pytest.fixture(scope="module")
+def heis6():
+    lat, sites, opsum, config = heisenberg_chain_model(6)
+    return sites, opsum, config, build_mpo(opsum, sites)
+
+
+class TestMPS:
+    def test_product_state(self):
+        sites = SiteSet.uniform(SpinHalfSite(), 4)
+        psi = MPS.product_state(sites, ["Up", "Dn", "Up", "Dn"])
+        assert psi.norm() == pytest.approx(1.0)
+        assert psi.bond_dimensions() == [1, 1, 1]
+        assert psi.total_charge() == (0,)
+
+    def test_product_state_dense_vector(self):
+        sites = SiteSet.uniform(SpinHalfSite(), 3)
+        psi = MPS.product_state(sites, ["Up", "Dn", "Up"])
+        vec = psi.to_dense_vector()
+        # basis index of (Up, Dn, Up) = 0*4 + 1*2 + 0 = 2
+        assert vec[2] == pytest.approx(1.0)
+        assert np.linalg.norm(vec) == pytest.approx(1.0)
+
+    def test_invalid_config_length(self):
+        sites = SiteSet.uniform(SpinHalfSite(), 3)
+        with pytest.raises(ValueError):
+            MPS.product_state(sites, ["Up", "Dn"])
+
+    def test_random_mps_norm_and_charge(self, rng):
+        sites = SiteSet.uniform(SpinHalfSite(), 8)
+        psi = MPS.random(sites, total_charge=(0,), bond_dim=10, rng=rng)
+        assert psi.norm() == pytest.approx(1.0)
+        assert psi.total_charge() == (0,)
+        assert psi.max_bond_dimension() <= 10 + 2
+
+    def test_random_mps_nonzero_charge(self, rng):
+        sites = SiteSet.uniform(SpinHalfSite(), 6)
+        psi = MPS.random(sites, total_charge=(2,), bond_dim=6, rng=rng)
+        assert psi.total_charge() == (2,)
+        assert psi.expect_one_site("Sz", 0).real == pytest.approx(
+            psi.expect_one_site("Sz", 0).real)
+
+    def test_canonicalize_preserves_state(self, rng):
+        sites = SiteSet.uniform(SpinHalfSite(), 6)
+        psi = MPS.random(sites, total_charge=(0,), bond_dim=8, rng=rng)
+        vec = psi.to_dense_vector()
+        psi.canonicalize(3)
+        assert np.allclose(np.abs(psi.to_dense_vector()), np.abs(vec))
+        assert psi.center == 3
+
+    def test_move_center(self, rng):
+        sites = SiteSet.uniform(SpinHalfSite(), 6)
+        psi = MPS.random(sites, total_charge=(0,), bond_dim=8, rng=rng)
+        psi.canonicalize(0)
+        vec = psi.to_dense_vector()
+        psi.move_center(4)
+        assert psi.center == 4
+        assert np.allclose(psi.to_dense_vector(), vec)
+
+    def test_overlap_of_orthogonal_product_states(self):
+        sites = SiteSet.uniform(SpinHalfSite(), 4)
+        a = MPS.product_state(sites, ["Up", "Dn", "Up", "Dn"])
+        b = MPS.product_state(sites, ["Dn", "Up", "Dn", "Up"])
+        assert abs(overlap(a, b)) < 1e-14
+        assert overlap(a, a) == pytest.approx(1.0)
+
+    def test_expect_one_site(self):
+        sites = SiteSet.uniform(SpinHalfSite(), 4)
+        psi = MPS.product_state(sites, ["Up", "Dn", "Up", "Dn"])
+        assert complex(psi.expect_one_site("Sz", 0)).real == pytest.approx(0.5)
+        assert complex(psi.expect_one_site("Sz", 1)).real == pytest.approx(-0.5)
+        # S+ changes the charge sector -> zero expectation value
+        assert abs(complex(psi.expect_one_site("S+", 1))) < 1e-14
+
+    def test_entanglement_entropy_product_state(self):
+        sites = SiteSet.uniform(SpinHalfSite(), 4)
+        psi = MPS.product_state(sites, ["Up", "Dn", "Up", "Dn"])
+        assert psi.entanglement_entropy(1) == pytest.approx(0.0, abs=1e-12)
+
+    def test_bond_structure_edges(self):
+        sites = SiteSet.uniform(SpinHalfSite(), 6)
+        bonds = bond_structure(sites, (0,), 16)
+        assert bonds[0].dim == 1
+        assert bonds[-1].dim == 1
+        # middle bond limited by 2^3 = 8 and the cap
+        assert bonds[3].dim <= 8
+
+    def test_bond_structure_unreachable_charge(self):
+        sites = SiteSet.uniform(SpinHalfSite(), 2)
+        with pytest.raises(ValueError):
+            bond_structure(sites, (6,), 4)
+
+
+class TestAutoMPO:
+    def test_heisenberg_matches_ed_matrix(self, heis6):
+        sites, opsum, config, mpo = heis6
+        dense = mpo.to_dense_matrix()
+        ref = build_hamiltonian(opsum, sites).toarray().real
+        assert np.allclose(dense, ref, atol=1e-12)
+
+    def test_hubbard_chain_matches_ed_matrix(self):
+        lat, sites, opsum, config = hubbard_chain_model(4, t=1.0, u=4.0)
+        mpo = build_mpo(opsum, sites)
+        assert np.allclose(mpo.to_dense_matrix(),
+                           build_hamiltonian(opsum, sites).toarray().real,
+                           atol=1e-12)
+
+    def test_triangular_hubbard_matches_ed_matrix(self):
+        """Longer-range hoppings exercise non-trivial Jordan-Wigner strings."""
+        lat, sites, opsum, config = triangular_hubbard_model(2, 2, t=1.0, u=4.0)
+        mpo = build_mpo(opsum, sites)
+        assert np.allclose(mpo.to_dense_matrix(),
+                           build_hamiltonian(opsum, sites).toarray().real,
+                           atol=1e-12)
+
+    def test_tfim_dense_path(self):
+        lat, sites, opsum, config = tfim_model(5, j=1.0, h=0.8)
+        mpo = build_mpo(opsum, sites)
+        assert np.allclose(mpo.to_dense_matrix(),
+                           build_hamiltonian(opsum, sites).toarray().real,
+                           atol=1e-12)
+
+    def test_compression_preserves_operator(self, heis6):
+        sites, opsum, config, mpo = heis6
+        compressed = build_mpo(opsum, sites, compress=True, cutoff=1e-13)
+        assert compressed.max_bond_dimension() <= mpo.max_bond_dimension()
+        assert np.allclose(compressed.to_dense_matrix(),
+                           mpo.to_dense_matrix(), atol=1e-8)
+
+    def test_mpo_bond_dimension_reasonable(self, heis6):
+        sites, opsum, config, mpo = heis6
+        # nearest-neighbour Heisenberg compresses to k = 5
+        compressed = build_mpo(opsum, sites, compress=True)
+        assert compressed.max_bond_dimension() <= 6
+
+    def test_charge_violating_term_rejected(self):
+        sites = SiteSet.uniform(SpinHalfSite(), 3)
+        from repro.mps import OpSum
+        os = OpSum().add(1.0, "S+", 0, "S+", 1)
+        with pytest.raises(ValueError):
+            build_mpo(os, sites)
+
+    def test_empty_opsum_rejected(self):
+        from repro.mps import OpSum
+        sites = SiteSet.uniform(SpinHalfSite(), 3)
+        with pytest.raises(ValueError):
+            build_mpo(OpSum(), sites)
+
+    def test_expectation_of_product_state(self):
+        lat, sites, opsum, config = heisenberg_chain_model(6, j2=0.0)
+        mpo = build_mpo(opsum, sites)
+        neel = MPS.product_state(sites, config)
+        # Néel state: only the Sz Sz terms contribute, -1/4 per bond
+        assert mpo.expectation(neel) == pytest.approx(-0.25 * 5)
+
+    def test_complex_coefficient_requires_complex_dtype(self):
+        from repro.mps import OpSum
+        sites = SiteSet.uniform(SpinHalfSite(), 3)
+        os = OpSum().add(1.0 + 0.5j, "Sz", 0, "Sz", 1)
+        with pytest.raises(ValueError):
+            build_mpo(os, sites)
+        mpo = build_mpo(os, sites, dtype=np.complex128)
+        assert mpo.tensors[0].dtype.kind == "c"

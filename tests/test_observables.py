@@ -1,0 +1,224 @@
+"""Tests for the measurement layer (profiles, correlators, entropy, variance)."""
+
+import numpy as np
+import pytest
+
+from repro.dmrg import (bond_spectrum, connected_correlation, correlation,
+                        correlation_matrix, energy_and_variance,
+                        energy_variance, entanglement_profile, expect_opsum,
+                        expect_term, expectation_profile, local_expectation,
+                        measure, renyi_entropy, run_dmrg)
+from repro.ed import build_hamiltonian, ground_state, site_operator_full
+from repro.models import heisenberg_chain_model, hubbard_chain_model
+from repro.mps import MPS, OpSum, Term, build_mpo
+from repro.mps.opsum import OpFactor
+
+
+@pytest.fixture(scope="module")
+def spin_state():
+    """A random symmetric MPS on a 6-site spin chain plus its dense vector."""
+    _, sites, opsum, config = heisenberg_chain_model(6)
+    mpo = build_mpo(opsum, sites)
+    rng = np.random.default_rng(3)
+    psi = MPS.random(sites, total_charge=sites.total_charge(config),
+                     bond_dim=6, rng=rng)
+    return sites, opsum, mpo, psi, psi.to_dense_vector()
+
+
+@pytest.fixture(scope="module")
+def electron_state():
+    """A random symmetric MPS on a 4-site Hubbard chain plus its dense vector."""
+    _, sites, opsum, config = hubbard_chain_model(4, u=4.0)
+    mpo = build_mpo(opsum, sites)
+    rng = np.random.default_rng(9)
+    psi = MPS.random(sites, total_charge=sites.total_charge(config),
+                     bond_dim=8, rng=rng)
+    return sites, opsum, mpo, psi, psi.to_dense_vector()
+
+
+@pytest.fixture(scope="module")
+def spin_ground_state():
+    """DMRG ground state of an 8-site Heisenberg chain."""
+    _, sites, opsum, config = heisenberg_chain_model(8)
+    mpo = build_mpo(opsum, sites)
+    psi0 = MPS.product_state(sites, config)
+    result, psi = run_dmrg(mpo, psi0, maxdim=64, nsweeps=8, cutoff=1e-12)
+    return sites, opsum, mpo, psi, result
+
+
+def _dense_expect(sites, vec, pairs):
+    """Reference expectation of a product of local operators from the dense vector."""
+    dim = len(vec)
+    import scipy.sparse as sp
+    op = sp.identity(dim, format="csr", dtype=complex)
+    for name, site in reversed(pairs):
+        op = site_operator_full(sites, name, site) @ op
+    return complex(np.vdot(vec, op @ vec) / np.vdot(vec, vec))
+
+
+class TestLocalExpectation:
+    def test_matches_dense_reference(self, spin_state):
+        sites, _, _, psi, vec = spin_state
+        for j in (0, 2, 5):
+            val = local_expectation(psi, "Sz", j)
+            ref = _dense_expect(sites, vec, [("Sz", j)])
+            assert val == pytest.approx(ref, abs=1e-10)
+
+    def test_profile_sums_to_total_charge(self, spin_state):
+        sites, _, _, psi, _ = spin_state
+        prof = expectation_profile(psi, "Sz")
+        # total charge is 2*Sz = 0 for the Neel configuration
+        assert float(np.sum(prof)) == pytest.approx(0.0, abs=1e-10)
+
+    def test_density_profile_electrons(self, electron_state):
+        sites, _, _, psi, vec = electron_state
+        prof = expectation_profile(psi, "Ntot")
+        assert float(np.sum(prof)) == pytest.approx(4.0, abs=1e-9)
+        for j in range(4):
+            ref = _dense_expect(sites, vec, [("Ntot", j)])
+            assert prof[j] == pytest.approx(np.real(ref), abs=1e-10)
+
+    def test_agrees_with_mps_method(self, spin_state):
+        _, _, _, psi, _ = spin_state
+        assert local_expectation(psi, "Sz", 3) == pytest.approx(
+            complex(psi.expect_one_site("Sz", 3)), abs=1e-10)
+
+
+class TestCorrelations:
+    def test_szsz_matches_dense(self, spin_state):
+        sites, _, _, psi, vec = spin_state
+        for i, j in ((0, 3), (1, 4), (2, 2)):
+            val = correlation(psi, "Sz", i, "Sz", j)
+            ref = _dense_expect(sites, vec, [("Sz", i), ("Sz", j)])
+            assert val == pytest.approx(ref, abs=1e-10)
+
+    def test_spin_flip_correlator(self, spin_state):
+        sites, _, _, psi, vec = spin_state
+        val = correlation(psi, "S+", 1, "S-", 4)
+        ref = _dense_expect(sites, vec, [("S+", 1), ("S-", 4)])
+        assert val == pytest.approx(ref, abs=1e-10)
+
+    def test_fermionic_hopping_with_jw_string(self, electron_state):
+        sites, _, _, psi, vec = electron_state
+        for i, j in ((0, 2), (0, 3), (1, 3)):
+            val = correlation(psi, "Cdagup", i, "Cup", j)
+            ref = _dense_expect(sites, vec, [("Cdagup", i), ("Cup", j)])
+            assert val == pytest.approx(ref, abs=1e-10)
+
+    def test_reversed_order_fermionic_sign(self, electron_state):
+        sites, _, _, psi, vec = electron_state
+        val = correlation(psi, "Cup", 3, "Cdagup", 0)
+        ref = _dense_expect(sites, vec, [("Cup", 3), ("Cdagup", 0)])
+        assert val == pytest.approx(ref, abs=1e-10)
+
+    def test_correlation_matrix_hermitian(self, electron_state):
+        _, _, _, psi, _ = electron_state
+        c = correlation_matrix(psi, "Cdagup", "Cup")
+        assert np.allclose(c, np.conj(c).T, atol=1e-10)
+        # diagonal is the up density
+        dens = expectation_profile(psi, "Nup")
+        assert np.allclose(np.real(np.diag(c)), dens, atol=1e-10)
+
+    def test_correlation_matrix_subset(self, spin_state):
+        _, _, _, psi, _ = spin_state
+        c = correlation_matrix(psi, "Sz", "Sz", sites=[0, 2, 4])
+        assert c.shape == (3, 3)
+        assert c[0, 1] == pytest.approx(correlation(psi, "Sz", 0, "Sz", 2),
+                                        abs=1e-12)
+
+    def test_connected_correlator(self, spin_state):
+        _, _, _, psi, _ = spin_state
+        raw = correlation(psi, "Sz", 0, "Sz", 3)
+        conn = connected_correlation(psi, "Sz", 0, "Sz", 3)
+        prod = local_expectation(psi, "Sz", 0) * local_expectation(psi, "Sz", 3)
+        assert conn == pytest.approx(raw - prod, abs=1e-12)
+
+
+class TestOpSumExpectation:
+    def test_matches_mpo_expectation(self, spin_state):
+        _, opsum, mpo, psi, _ = spin_state
+        assert np.real(expect_opsum(psi, opsum)) == pytest.approx(
+            mpo.expectation(psi), rel=1e-9)
+
+    def test_matches_dense_hamiltonian(self, electron_state):
+        sites, opsum, _, psi, vec = electron_state
+        h = build_hamiltonian(opsum, sites).toarray()
+        ref = np.vdot(vec, h @ vec) / np.vdot(vec, vec)
+        assert np.real(expect_opsum(psi, opsum)) == pytest.approx(
+            np.real(ref), abs=1e-9)
+
+    def test_single_term(self, spin_state):
+        _, _, _, psi, _ = spin_state
+        term = Term(2.0, (OpFactor("Sz", 1), OpFactor("Sz", 2)))
+        assert expect_term(psi, term) == pytest.approx(
+            2.0 * correlation(psi, "Sz", 1, "Sz", 2), abs=1e-12)
+
+
+class TestEntanglement:
+    def test_product_state_has_zero_entropy(self, spin_state):
+        sites, _, _, _, _ = spin_state
+        prod = MPS.product_state(sites, ["Up", "Dn"] * 3)
+        prof = entanglement_profile(prod)
+        assert np.allclose(prof, 0.0, atol=1e-12)
+
+    def test_bond_spectrum_normalized(self, spin_state):
+        _, _, _, psi, _ = spin_state
+        spec = bond_spectrum(psi, 2)
+        assert float((spec ** 2).sum()) == pytest.approx(1.0)
+        assert np.all(np.diff(spec) <= 1e-12)
+
+    def test_renyi_limits(self, spin_state):
+        _, _, _, psi, _ = spin_state
+        s_vn = renyi_entropy(psi, 2, alpha=1.0)
+        assert s_vn == pytest.approx(psi.entanglement_entropy(2), abs=1e-10)
+        # Renyi entropies decrease with alpha
+        assert renyi_entropy(psi, 2, alpha=2.0) <= s_vn + 1e-12
+
+    def test_invalid_renyi_index(self, spin_state):
+        _, _, _, psi, _ = spin_state
+        with pytest.raises(ValueError):
+            renyi_entropy(psi, 1, alpha=0.0)
+
+    def test_entanglement_profile_length(self, spin_state):
+        _, _, _, psi, _ = spin_state
+        assert entanglement_profile(psi).shape == (len(psi) - 1,)
+
+
+class TestEnergyVariance:
+    def test_variance_nonnegative_random_state(self, spin_state):
+        _, _, mpo, psi, _ = spin_state
+        e, var = energy_and_variance(psi, mpo)
+        assert var >= 0.0
+        assert e == pytest.approx(mpo.expectation(psi), rel=1e-9)
+
+    def test_ground_state_has_small_variance(self, spin_ground_state):
+        _, _, mpo, psi, result = spin_ground_state
+        var = energy_variance(psi, mpo)
+        assert var < 1e-6
+
+    def test_variance_matches_dense(self, electron_state):
+        sites, opsum, mpo, psi, vec = electron_state
+        h = build_hamiltonian(opsum, sites).toarray().real
+        v = vec / np.linalg.norm(vec)
+        ref_e = float(v @ h @ v)
+        ref_var = float(v @ h @ h @ v) - ref_e ** 2
+        e, var = energy_and_variance(psi, mpo)
+        assert e == pytest.approx(ref_e, abs=1e-8)
+        assert var == pytest.approx(ref_var, abs=1e-6)
+
+
+class TestMeasureReport:
+    def test_ground_state_report(self, spin_ground_state):
+        _, opsum, mpo, psi, result = spin_ground_state
+        report = measure(psi, mpo, profile_ops=["Sz"])
+        assert report.energy == pytest.approx(result.energy, abs=1e-7)
+        assert report.variance < 1e-6
+        assert report.max_bond_dimension == psi.max_bond_dimension()
+        assert "Sz" in report.profiles
+        assert "energy" in report.summary()
+
+    def test_dmrg_energy_matches_ed(self, spin_ground_state):
+        sites, opsum, _, psi, result = spin_ground_state
+        charge = psi.total_charge()
+        evals, _ = ground_state(opsum, sites, charge=charge, k=1)
+        assert result.energy == pytest.approx(float(evals[0]), abs=1e-7)

@@ -1,0 +1,86 @@
+"""Property-based tests for MPS algebra and measurement invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dmrg import expectation_profile, local_expectation
+from repro.models import heisenberg_chain_model
+from repro.mps import MPS, add, apply_mpo, build_mpo, compress, overlap, scale
+
+
+@pytest.fixture(scope="module")
+def chain6():
+    _, sites, opsum, config = heisenberg_chain_model(6)
+    mpo = build_mpo(opsum, sites)
+    return sites, mpo, config
+
+
+def _random_state(sites, config, seed, bond_dim=6):
+    return MPS.random(sites, total_charge=sites.total_charge(config),
+                      bond_dim=bond_dim, rng=np.random.default_rng(seed))
+
+
+class TestAlgebraProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(seed_a=st.integers(0, 50), seed_b=st.integers(51, 100),
+           alpha=st.floats(-2, 2, allow_nan=False),
+           beta=st.floats(-2, 2, allow_nan=False))
+    def test_addition_is_linear_in_overlaps(self, chain6, seed_a, seed_b,
+                                            alpha, beta):
+        """<phi| (a psi1 + b psi2)> = a <phi|psi1> + b <phi|psi2>."""
+        sites, _, config = chain6
+        psi1 = _random_state(sites, config, seed_a)
+        psi2 = _random_state(sites, config, seed_b)
+        phi = _random_state(sites, config, seed_a + seed_b + 1)
+        combo = add(psi1, psi2, alpha=alpha, beta=beta)
+        lhs = overlap(phi, combo)
+        rhs = alpha * overlap(phi, psi1) + beta * overlap(phi, psi2)
+        assert lhs == pytest.approx(rhs, abs=1e-9)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 100), factor=st.floats(0.1, 3.0))
+    def test_scaling_scales_norm(self, chain6, seed, factor):
+        sites, _, config = chain6
+        psi = _random_state(sites, config, seed)
+        scaled = scale(psi, factor)
+        assert abs(overlap(scaled, scaled)) == pytest.approx(
+            factor ** 2 * abs(overlap(psi, psi)), rel=1e-9)
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 100))
+    def test_mpo_application_preserves_hermiticity(self, chain6, seed):
+        """<psi|H|psi> computed through apply_mpo is real."""
+        sites, mpo, config = chain6
+        psi = _random_state(sites, config, seed)
+        hpsi = apply_mpo(mpo, psi, compress_result=False)
+        val = overlap(psi, hpsi)
+        assert abs(np.imag(val)) < 1e-10
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 100), max_dim=st.integers(2, 12))
+    def test_compression_never_increases_norm(self, chain6, seed, max_dim):
+        sites, _, config = chain6
+        psi = _random_state(sites, config, seed, bond_dim=10)
+        truncated = compress(psi, max_dim=max_dim)
+        assert abs(overlap(truncated, truncated)) <= \
+            abs(overlap(psi, psi)) * (1 + 1e-10)
+        assert truncated.max_bond_dimension() <= max_dim
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 100))
+    def test_sz_profile_sums_to_sector_charge(self, chain6, seed):
+        """The magnetization profile integrates to the conserved 2*Sz / 2."""
+        sites, _, config = chain6
+        psi = _random_state(sites, config, seed)
+        prof = expectation_profile(psi, "Sz")
+        total = sites.total_charge(config)[0] / 2.0
+        assert float(np.sum(prof)) == pytest.approx(total, abs=1e-9)
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 100), j=st.integers(0, 5))
+    def test_identity_expectation_is_one(self, chain6, seed, j):
+        sites, _, config = chain6
+        psi = _random_state(sites, config, seed)
+        assert local_expectation(psi, "Id", j) == pytest.approx(1.0, abs=1e-10)

@@ -1,0 +1,105 @@
+"""Property-based tests (hypothesis) for the symmetric tensor layer."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.symmetry import BlockSparseTensor, Index, svd
+from repro.symmetry.charges import add_charges
+
+
+@st.composite
+def u1_index(draw, max_sectors=3, max_dim=3):
+    """A random U(1) index."""
+    nsec = draw(st.integers(1, max_sectors))
+    charges = draw(st.lists(st.integers(-2, 2), min_size=nsec, max_size=nsec,
+                            unique=True))
+    dims = draw(st.lists(st.integers(1, max_dim), min_size=nsec, max_size=nsec))
+    flow = draw(st.sampled_from([1, -1]))
+    return Index([(c,) for c in charges], dims, flow=flow)
+
+
+@st.composite
+def tensor_and_partner(draw):
+    """A rank-3 tensor and a rank-2 partner sharing a contractable index."""
+    i1 = draw(u1_index())
+    i2 = draw(u1_index())
+    i3 = draw(u1_index())
+    i4 = draw(u1_index())
+    seed = draw(st.integers(0, 2 ** 16))
+    rng = np.random.default_rng(seed)
+    a = BlockSparseTensor.random([i1, i2, i3], flux=(0,), rng=rng)
+    b = BlockSparseTensor.random([i3.dual(), i4], flux=(0,), rng=rng)
+    return a, b
+
+
+@settings(max_examples=40, deadline=None)
+@given(tensor_and_partner())
+def test_contraction_matches_dense(pair):
+    """Block contraction always equals the dense tensordot."""
+    a, b = pair
+    c = a.contract(b, axes=([2], [0]))
+    ref = np.tensordot(a.to_dense(), b.to_dense(), axes=([2], [0]))
+    if isinstance(c, BlockSparseTensor):
+        assert np.allclose(c.to_dense(), ref, atol=1e-10)
+    else:
+        assert np.allclose(np.asarray(c), ref, atol=1e-10)
+
+
+@settings(max_examples=40, deadline=None)
+@given(tensor_and_partner())
+def test_contraction_conserves_charge(pair):
+    """Every output block of a contraction satisfies charge conservation."""
+    a, b = pair
+    c = a.contract(b, axes=([2], [0]))
+    if isinstance(c, BlockSparseTensor):
+        assert c.flux == add_charges(a.flux, b.flux)
+        for key in c.blocks:
+            assert c.key_allowed(key)
+
+
+@settings(max_examples=30, deadline=None)
+@given(tensor_and_partner())
+def test_svd_reconstructs_and_truncates_monotonically(pair):
+    """Untruncated SVD reconstructs; truncation error grows as max_dim shrinks."""
+    a, _ = pair
+    if a.num_blocks == 0:
+        return
+    u, _, vh, info = svd(a, row_axes=[0, 1], absorb="left")
+    rec = u.contract(vh, axes=([2], [0]))
+    assert np.allclose(rec.to_dense(), a.to_dense(), atol=1e-8)
+    errors = []
+    for maxdim in (6, 3, 1):
+        _, _, _, inf = svd(a, row_axes=[0, 1], max_dim=maxdim)
+        errors.append(inf.truncation_error)
+    assert errors == sorted(errors)
+
+
+@settings(max_examples=40, deadline=None)
+@given(u1_index(), st.integers(0, 2 ** 16))
+def test_conj_is_involution(ix, seed):
+    """conj(conj(T)) == T."""
+    rng = np.random.default_rng(seed)
+    t = BlockSparseTensor.random([ix, ix.dual()], flux=(0,), rng=rng)
+    back = t.conj().conj()
+    assert np.allclose(back.to_dense(), t.to_dense())
+    assert back.flux == t.flux
+
+
+@settings(max_examples=40, deadline=None)
+@given(u1_index(), u1_index(), st.integers(0, 2 ** 16))
+def test_norm_invariant_under_transpose(i1, i2, seed):
+    """The Frobenius norm is invariant under mode permutation."""
+    rng = np.random.default_rng(seed)
+    t = BlockSparseTensor.random([i1, i2, i1.dual()], flux=(0,), rng=rng)
+    assert np.isclose(t.norm(), t.transpose([2, 1, 0]).norm())
+
+
+@settings(max_examples=40, deadline=None)
+@given(u1_index(), st.integers(0, 2 ** 16))
+def test_from_dense_roundtrip(ix, seed):
+    """to_dense(from_dense(x)) == x for symmetric x."""
+    rng = np.random.default_rng(seed)
+    t = BlockSparseTensor.random([ix, ix.dual()], flux=(0,), rng=rng)
+    dense = t.to_dense()
+    back = BlockSparseTensor.from_dense(dense, t.indices, flux=t.flux)
+    assert np.allclose(back.to_dense(), dense)

@@ -17,15 +17,23 @@ machine: flops, communication volume, synchronization counts and memory are
 charged differently, following Table II.  :class:`DirectBackend` is the
 plain single-process reference used for correctness tests and as the
 "ITensor-like" baseline building block.
+
+Every backend owns a :class:`~repro.symmetry.planner.PlanCache`: the symbolic
+block pairing of a contraction is planned once per operand signature and the
+arithmetic runs through the fused/batched GEMM executor
+(:mod:`repro.symmetry.engine`), so repeated Davidson matvecs and later sweeps
+skip the per-pair bookkeeping entirely.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Sequence
+from typing import Optional, Sequence
 
 from ..symmetry import BlockSparseTensor
 from ..symmetry import linalg as blocklinalg
+from ..symmetry.engine import contract_planned
+from ..symmetry.planner import PlanCache
 
 
 class ContractionBackend(ABC):
@@ -33,6 +41,11 @@ class ContractionBackend(ABC):
 
     #: short identifier ("direct", "list", "sparse-dense", "sparse-sparse")
     name: str = "abstract"
+
+    def __init__(self) -> None:
+        #: memoized contraction plans, shared by every contraction this
+        #: backend performs; ``None`` disables planning (naive Algorithm 2)
+        self.plan_cache: Optional[PlanCache] = PlanCache()
 
     @abstractmethod
     def contract(self, a: BlockSparseTensor, b: BlockSparseTensor,
@@ -58,10 +71,20 @@ class ContractionBackend(ABC):
 
 
 class DirectBackend(ContractionBackend):
-    """Plain single-process contraction (no distribution, no cost model)."""
+    """Plain single-process contraction (no distribution, no cost model).
+
+    Runs through the plan cache and fused-GEMM executor by default;
+    ``use_planner=False`` selects the naive per-pair Algorithm-2 loop, which
+    is the reference the planned path is tested and benchmarked against.
+    """
 
     name = "direct"
 
+    def __init__(self, use_planner: bool = True):
+        super().__init__()
+        if not use_planner:
+            self.plan_cache = None
+
     def contract(self, a: BlockSparseTensor, b: BlockSparseTensor,
                  axes: tuple[Sequence[int], Sequence[int]]) -> BlockSparseTensor:
-        return a.contract(b, axes)
+        return contract_planned(a, b, axes, cache=self.plan_cache)

@@ -4,6 +4,11 @@ Each quantum-number block is conceptually its own distributed dense tensor; a
 contraction loops over all pairs of blocks with matching labels along the
 contracted modes and contracts each pair with a distributed dense contraction
 (one BSP superstep per pair — the ``O(N_b)`` supersteps of Table II).
+
+The block pairing itself is compiled once per operand signature by the
+contraction planner and reused across Davidson matvecs; the cost model still
+charges one distributed contraction per block pair, but the local arithmetic
+executes through the fused/batched GEMM engine.
 """
 
 from __future__ import annotations
@@ -13,9 +18,8 @@ from typing import Dict, Sequence
 import numpy as np
 
 from ..ctf.world import SimWorld
-from ..perf import flops as flopcount
 from ..symmetry import BlockSparseTensor
-from ..symmetry.charges import add_charges
+from ..symmetry.engine import execute_cached, plan_for
 from .base import ContractionBackend
 
 
@@ -25,64 +29,20 @@ class ListBackend(ContractionBackend):
     name = "list"
 
     def __init__(self, world: SimWorld):
+        super().__init__()
         self.world = world
 
     def contract(self, a: BlockSparseTensor, b: BlockSparseTensor,
                  axes: tuple[Sequence[int], Sequence[int]]) -> BlockSparseTensor:
-        axes_a = tuple(int(x) % a.ndim for x in axes[0])
-        axes_b = tuple(int(x) % b.ndim for x in axes[1])
-        for ia, ib in zip(axes_a, axes_b):
-            if not a.indices[ia].can_contract_with(b.indices[ib]):
-                raise ValueError(
-                    f"index {ia} of A cannot contract with index {ib} of B")
-        keep_a = [i for i in range(a.ndim) if i not in axes_a]
-        keep_b = [i for i in range(b.ndim) if i not in axes_b]
-        out_indices = tuple(a.indices[i] for i in keep_a) + \
-            tuple(b.indices[i] for i in keep_b)
-        out_flux = add_charges(a.flux, b.flux)
-
-        b_by_contr: Dict[tuple, list] = {}
-        for key_b, blk_b in b.blocks.items():
-            b_by_contr.setdefault(tuple(key_b[x] for x in axes_b),
-                                  []).append((key_b, blk_b))
-
-        # per-tensor block statistics for the load-imbalance model
-        total_work = 0.0
-        pair_work = []
-        pairs = []
-        for key_a, blk_a in a.blocks.items():
-            kc = tuple(key_a[x] for x in axes_a)
-            for key_b, blk_b in b_by_contr.get(kc, []):
-                w = flopcount.contraction_flops(blk_a.shape, blk_b.shape,
-                                                axes_a, axes_b)
-                pairs.append((key_a, blk_a, key_b, blk_b, w))
-                pair_work.append(w)
-                total_work += w
-        largest_share = (max(pair_work) / total_work) if total_work > 0 else 1.0
-        num_pairs = len(pairs)
-
-        out_blocks: Dict[tuple, np.ndarray] = {}
-        for key_a, blk_a, key_b, blk_b, work in pairs:
-            key_c = tuple(key_a[i] for i in keep_a) + \
-                tuple(key_b[i] for i in keep_b)
-            res = np.tensordot(blk_a, blk_b, axes=(axes_a, axes_b))
-            flopcount.add_flops(work, "gemm")
+        plan = plan_for(a, b, axes, self.plan_cache)
+        # one superstep per block pair (Table II: O(N_b) supersteps), sized
+        # by the pair's precomputed flops and operand/output block sizes
+        for pair in plan.pairs:
             self.world.charge_block_contraction(
-                work, blk_a.size, blk_b.size, res.size,
-                num_blocks=num_pairs, largest_block_share=largest_share)
-            if key_c in out_blocks:
-                out_blocks[key_c] += res
-            else:
-                out_blocks[key_c] = res
-
-        if not out_indices:
-            total = 0.0
-            for blk in out_blocks.values():
-                total = total + blk
-            return total  # type: ignore[return-value]
-        return BlockSparseTensor(out_indices, out_blocks, flux=out_flux,
-                                 dtype=np.result_type(a.dtype, b.dtype),
-                                 check=False)
+                pair.flops, pair.a_size, pair.b_size, pair.out_size,
+                num_blocks=plan.npairs,
+                largest_block_share=plan.largest_pair_share)
+        return execute_cached(plan, a, b, self.plan_cache)
 
     def svd(self, t: BlockSparseTensor, row_axes: Sequence[int],
             col_axes: Sequence[int] | None = None, **kwargs):

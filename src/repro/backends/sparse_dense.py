@@ -14,6 +14,7 @@ from typing import Sequence
 
 from ..ctf.world import SimWorld
 from ..symmetry import BlockSparseTensor
+from ..symmetry.engine import execute_cached, plan_for
 from .base import ContractionBackend
 
 
@@ -27,6 +28,7 @@ class SparseDenseBackend(ContractionBackend):
     dense_intermediate_order: int = 4
 
     def __init__(self, world: SimWorld):
+        super().__init__()
         self.world = world
 
     def _is_davidson_intermediate(self, t: BlockSparseTensor) -> bool:
@@ -34,11 +36,10 @@ class SparseDenseBackend(ContractionBackend):
 
     def contract(self, a: BlockSparseTensor, b: BlockSparseTensor,
                  axes: tuple[Sequence[int], Sequence[int]]) -> BlockSparseTensor:
-        # exact numerics through the block layer
-        from ..perf.flops import count_flops
-        with count_flops() as counted:
-            result = a.contract(b, axes)
-        executed = counted.total
+        # exact numerics through the planned block layer
+        plan = plan_for(a, b, axes, self.plan_cache)
+        result = execute_cached(plan, a, b, self.plan_cache)
+        executed = plan.total_flops
 
         if isinstance(result, BlockSparseTensor):
             out_dense_size = result.dense_size

@@ -17,11 +17,10 @@ from __future__ import annotations
 
 from typing import Sequence
 
-import numpy as np
-
 from ..ctf.sparse_tensor import SparseDistTensor
 from ..ctf.world import SimWorld
 from ..symmetry import BlockSparseTensor
+from ..symmetry.engine import execute_cached, plan_for
 from .base import ContractionBackend
 
 
@@ -32,6 +31,7 @@ class SparseSparseBackend(ContractionBackend):
 
     def __init__(self, world: SimWorld, *, execute_sparse: bool = False,
                  sparse_execution_limit: int = 200_000):
+        super().__init__()
         self.world = world
         #: when set, contractions below the size limit run through the real
         #: scipy.sparse matricized-multiply path instead of the block loop
@@ -39,33 +39,6 @@ class SparseSparseBackend(ContractionBackend):
         self.sparse_execution_limit = sparse_execution_limit
 
     # -- helpers -------------------------------------------------------------
-    def _precomputed_output_nnz(self, a: BlockSparseTensor,
-                                b: BlockSparseTensor,
-                                axes: tuple[Sequence[int], Sequence[int]]) -> int:
-        """Output nonzeros predicted from the quantum-number labels alone."""
-        axes_a = tuple(int(x) % a.ndim for x in axes[0])
-        axes_b = tuple(int(x) % b.ndim for x in axes[1])
-        keep_a = [i for i in range(a.ndim) if i not in axes_a]
-        keep_b = [i for i in range(b.ndim) if i not in axes_b]
-        seen = {}
-        b_by_contr = {}
-        for key_b in b.blocks:
-            b_by_contr.setdefault(tuple(key_b[x] for x in axes_b),
-                                  []).append(key_b)
-        for key_a, blk_a in a.blocks.items():
-            kc = tuple(key_a[x] for x in axes_a)
-            for key_b in b_by_contr.get(kc, []):
-                key_c = tuple(key_a[i] for i in keep_a) + \
-                    tuple(key_b[i] for i in keep_b)
-                if key_c not in seen:
-                    size = 1
-                    for i, ax in enumerate(keep_a):
-                        size *= a.indices[ax].sector_dim(key_a[ax])
-                    for i, ax in enumerate(keep_b):
-                        size *= b.indices[ax].sector_dim(key_b[ax])
-                    seen[key_c] = size
-        return int(sum(seen.values()))
-
     def _contract_via_sparse(self, a: BlockSparseTensor, b: BlockSparseTensor,
                              axes) -> BlockSparseTensor:
         """Execute through the real sparse path and convert back to blocks."""
@@ -86,18 +59,17 @@ class SparseSparseBackend(ContractionBackend):
     # -- backend API ----------------------------------------------------------
     def contract(self, a: BlockSparseTensor, b: BlockSparseTensor,
                  axes: tuple[Sequence[int], Sequence[int]]) -> BlockSparseTensor:
-        out_nnz = self._precomputed_output_nnz(a, b, axes)
         use_sparse_exec = (self.execute_sparse and
                            a.dense_size <= self.sparse_execution_limit and
                            b.dense_size <= self.sparse_execution_limit)
         if use_sparse_exec:
-            result = self._contract_via_sparse(a, b, axes)
-            return result
-        from ..perf.flops import count_flops
-        with count_flops() as counted:
-            result = a.contract(b, axes)
-        self.world.charge_sparse_contraction(counted.total, a.nnz, b.nnz,
-                                             out_nnz)
+            return self._contract_via_sparse(a, b, axes)
+        # the plan's output-block list is exactly the "precomputed output
+        # sparsity" the sparse-sparse algorithm hands to Cyclops
+        plan = plan_for(a, b, axes, self.plan_cache)
+        result = execute_cached(plan, a, b, self.plan_cache)
+        self.world.charge_sparse_contraction(plan.total_flops, a.nnz, b.nnz,
+                                             plan.out_nnz)
         return result
 
     def svd(self, t: BlockSparseTensor, row_axes: Sequence[int],

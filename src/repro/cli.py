@@ -11,6 +11,11 @@ Two subcommands cover the everyday workflows:
     block-sparsity backends mapped to a simulated machine, measure the
     requested observables, and print/save a report.
 
+``python -m repro bench``
+    Benchmark smoke target: exercise the measured (not modelled) benchmarks —
+    the plan-cache/fused-GEMM comparison and the micro-kernel suite — at tiny
+    sizes, so the perf code cannot silently rot.
+
 The CLI only composes the public library API — everything it does can be done
 from a notebook with the same calls — but it gives the benchmark scripts and
 the documentation a single reproducible entry point.
@@ -140,6 +145,41 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Run the benchmark smoke targets (measured, not modelled)."""
+    rc = 0
+    if args.target in ("all", "plan-cache"):
+        from .perf.plan_bench import (format_plan_cache_benchmark,
+                                      run_plan_cache_benchmark)
+        if args.full:
+            stats = run_plan_cache_benchmark()
+        else:
+            stats = run_plan_cache_benchmark(nsites=8, maxdim=16, nsweeps=3)
+        print(format_plan_cache_benchmark(stats))
+        if stats["energy_delta"] > 1e-8:
+            print("error: planned and naive energies disagree "
+                  f"({stats['energy_delta']:.3e})", file=sys.stderr)
+            rc = 1
+    if args.target in ("all", "micro-kernels"):
+        import importlib.util
+        import pathlib
+
+        bench = (pathlib.Path(__file__).resolve().parents[2] /
+                 "benchmarks" / "bench_micro_kernels.py")
+        if not bench.exists():
+            print(f"micro-kernel benchmarks not found at {bench}; skipping")
+        elif (importlib.util.find_spec("pytest") is None or
+              importlib.util.find_spec("pytest_benchmark") is None):
+            print("pytest/pytest-benchmark not installed; "
+                  "skipping micro-kernel benchmarks")
+        else:
+            import pytest
+            flags = [] if args.full else ["--benchmark-disable"]
+            rc = max(rc, int(pytest.main(
+                [str(bench), "-q", "-p", "no:cacheprovider"] + flags)))
+    return rc
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -177,6 +217,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write a JSON report to this file")
     p_run.add_argument("--verbose", action="store_true")
     p_run.set_defaults(func=cmd_run)
+
+    p_bench = sub.add_parser(
+        "bench", help="run benchmark smoke targets (tiny sizes)")
+    p_bench.add_argument("--target", default="all",
+                         choices=["all", "plan-cache", "micro-kernels"])
+    p_bench.add_argument("--full", action="store_true",
+                         help="full benchmark sizes instead of the smoke run")
+    p_bench.set_defaults(func=cmd_bench)
     return parser
 
 

@@ -91,6 +91,50 @@ class SweepRecord:
     max_truncation_error: float
     seconds: float
     flops: float
+    plan_hits: int = 0               # contraction-plan cache hits this sweep
+    plan_misses: int = 0             # contraction-plan cache misses this sweep
+
+    @property
+    def plan_hit_rate(self) -> float:
+        """Fraction of this sweep's contractions served by a cached plan."""
+        n = self.plan_hits + self.plan_misses
+        return self.plan_hits / n if n else 0.0
+
+
+class PlanStatsRecorder:
+    """Plan-cache counter deltas for one DMRG run (and per sweep).
+
+    Shared by the two-site, single-site and excited sweep drivers.  Works
+    with backends that carry no plan cache: every delta stays zero.
+    """
+
+    def __init__(self, backend):
+        self.cache = getattr(backend, "plan_cache", None)
+        self._run0 = self._snap()
+        self._sweep0 = self._run0
+
+    def _snap(self) -> tuple:
+        c = self.cache
+        if c is None:
+            return (0, 0, 0.0, 0.0)
+        return (c.hits, c.misses, c.plan_seconds, c.execute_seconds)
+
+    def start_sweep(self) -> None:
+        """Mark the beginning of a sweep."""
+        self._sweep0 = self._snap()
+
+    def sweep_counts(self) -> tuple:
+        """``(plan_hits, plan_misses)`` since :meth:`start_sweep`."""
+        now = self._snap()
+        return now[0] - self._sweep0[0], now[1] - self._sweep0[1]
+
+    def finalize(self, result: "DMRGResult") -> None:
+        """Write the run's plan-cache deltas into ``result``."""
+        now = self._snap()
+        result.plan_cache_hits = now[0] - self._run0[0]
+        result.plan_cache_misses = now[1] - self._run0[1]
+        result.plan_seconds = now[2] - self._run0[2]
+        result.plan_execute_seconds = now[3] - self._run0[3]
 
 
 @dataclass
@@ -102,6 +146,10 @@ class DMRGResult:
     sweep_records: List[SweepRecord] = field(default_factory=list)
     site_records: List[SiteRecord] = field(default_factory=list)
     converged: bool = False
+    plan_cache_hits: int = 0         # contraction-plan cache hits this run
+    plan_cache_misses: int = 0       # contraction-plan cache misses this run
+    plan_seconds: float = 0.0        # wall time spent building plans
+    plan_execute_seconds: float = 0.0  # wall time in the fused-GEMM executor
 
     @property
     def total_flops(self) -> float:
@@ -112,3 +160,21 @@ class DMRGResult:
     def total_seconds(self) -> float:
         """Total wall-clock seconds over all sweeps."""
         return sum(r.seconds for r in self.sweep_records)
+
+    @property
+    def plan_cache_hit_rate(self) -> float:
+        """Plan-cache hit rate over the whole run (0.0 without a planner)."""
+        n = self.plan_cache_hits + self.plan_cache_misses
+        return self.plan_cache_hits / n if n else 0.0
+
+    @property
+    def plan_cache_hit_rate_after_first_sweep(self) -> float:
+        """Plan-cache hit rate over the 2nd and later sweeps.
+
+        The first sweep populates the cache; once index structures stop
+        changing, Davidson matvecs should hit almost always.
+        """
+        hits = sum(r.plan_hits for r in self.sweep_records[1:])
+        misses = sum(r.plan_misses for r in self.sweep_records[1:])
+        n = hits + misses
+        return hits / n if n else 0.0

@@ -32,14 +32,14 @@ class DavidsonResult:
 
 def _randomize_like(x: BlockSparseTensor,
                     rng: np.random.Generator) -> BlockSparseTensor:
-    """A random tensor with the same block structure as ``x``."""
+    """A random tensor with the same block structure (and dtype) as ``x``."""
     out = x.copy()
     for key in out.blocks:
-        out.blocks[key] = rng.standard_normal(out.blocks[key].shape).astype(
-            out.dtype if out.dtype.kind != "c" else np.float64)
+        shape = out.blocks[key].shape
+        data = rng.standard_normal(shape)
         if out.dtype.kind == "c":
-            out.blocks[key] = out.blocks[key] + \
-                1j * rng.standard_normal(out.blocks[key].shape)
+            data = data + 1j * rng.standard_normal(shape)
+        out.blocks[key] = data.astype(out.dtype)
     return out
 
 

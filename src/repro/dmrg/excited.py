@@ -33,7 +33,8 @@ from ..mps.mps import MPS
 from ..perf import flops as flopcount
 from ..symmetry import BlockSparseTensor
 from ..symmetry.charges import zero_charge
-from .config import DMRGConfig, DMRGResult, SweepRecord, Sweeps
+from .config import (DMRGConfig, DMRGResult, PlanStatsRecorder, SweepRecord,
+                     Sweeps)
 from .davidson import davidson
 from .environments import EnvironmentCache, extend_left, extend_right
 from .sweep import EffectiveHamiltonian, two_site_tensor
@@ -167,6 +168,7 @@ def excited_dmrg(operator: MPO, psi0: MPS, previous: Sequence[MPS],
 
     result = DMRGResult(energy=np.inf)
     last_energy = np.inf
+    plan_stats = PlanStatsRecorder(backend)
 
     for sweep_id in range(len(config.sweeps)):
         maxdim = config.sweeps.maxdims[sweep_id]
@@ -176,6 +178,7 @@ def excited_dmrg(operator: MPO, psi0: MPS, previous: Sequence[MPS],
         sweep_maxdim = 1
         sweep_maxtrunc = 0.0
         sweep_flops0 = flopcount.total_flops()
+        plan_stats.start_sweep()
         t_sweep = time.perf_counter()
 
         if psi.center != 0:
@@ -241,9 +244,10 @@ def excited_dmrg(operator: MPO, psi0: MPS, previous: Sequence[MPS],
 
         seconds = time.perf_counter() - t_sweep
         dflops = flopcount.total_flops() - sweep_flops0
+        plan_hits, plan_misses = plan_stats.sweep_counts()
         result.sweep_records.append(SweepRecord(
             sweep_id, sweep_energy, sweep_maxdim, sweep_maxtrunc, seconds,
-            dflops))
+            dflops, plan_hits=plan_hits, plan_misses=plan_misses))
         result.energies.append(sweep_energy)
         result.energy = sweep_energy
         if (config.energy_tol > 0 and
@@ -252,6 +256,7 @@ def excited_dmrg(operator: MPO, psi0: MPS, previous: Sequence[MPS],
             break
         last_energy = sweep_energy
 
+    plan_stats.finalize(result)
     psi.normalize()
     return result, psi
 

@@ -29,7 +29,8 @@ from ..mps.mps import MPS
 from ..perf import flops as flopcount
 from ..symmetry import BlockSparseTensor, Index, svd
 from ..symmetry.reshape import fuse_modes
-from .config import DMRGConfig, DMRGResult, SiteRecord, SweepRecord, Sweeps
+from .config import (DMRGConfig, DMRGResult, PlanStatsRecorder, SiteRecord,
+                     SweepRecord, Sweeps)
 from .davidson import davidson
 from .environments import EnvironmentCache
 
@@ -151,6 +152,7 @@ def single_site_dmrg(operator: MPO, psi0: MPS, config: DMRGConfig, *,
 
     result = DMRGResult(energy=np.inf)
     last_energy = np.inf
+    plan_stats = PlanStatsRecorder(backend)
 
     for sweep_id in range(nsweeps):
         maxdim = config.sweeps.maxdims[sweep_id]
@@ -161,6 +163,7 @@ def single_site_dmrg(operator: MPO, psi0: MPS, config: DMRGConfig, *,
         sweep_maxdim = 1
         sweep_maxtrunc = 0.0
         sweep_flops0 = flopcount.total_flops()
+        plan_stats.start_sweep()
         t_sweep = time.perf_counter()
 
         if psi.center != 0:
@@ -244,9 +247,10 @@ def single_site_dmrg(operator: MPO, psi0: MPS, config: DMRGConfig, *,
 
         seconds = time.perf_counter() - t_sweep
         dflops = flopcount.total_flops() - sweep_flops0
+        plan_hits, plan_misses = plan_stats.sweep_counts()
         result.sweep_records.append(SweepRecord(
             sweep_id, sweep_energy, sweep_maxdim, sweep_maxtrunc, seconds,
-            dflops))
+            dflops, plan_hits=plan_hits, plan_misses=plan_misses))
         result.energies.append(sweep_energy)
         result.energy = sweep_energy
         if config.verbose:  # pragma: no cover
@@ -257,6 +261,7 @@ def single_site_dmrg(operator: MPO, psi0: MPS, config: DMRGConfig, *,
             break
         last_energy = sweep_energy
 
+    plan_stats.finalize(result)
     psi.normalize()
     return result, psi
 

@@ -20,7 +20,8 @@ from ..mps.mpo import MPO
 from ..mps.mps import MPS
 from ..perf import flops as flopcount
 from ..symmetry import BlockSparseTensor
-from .config import DMRGConfig, DMRGResult, SiteRecord, Sweeps, SweepRecord
+from .config import (DMRGConfig, DMRGResult, PlanStatsRecorder, SiteRecord,
+                     Sweeps, SweepRecord)
 from .davidson import davidson
 from .environments import EnvironmentCache, extend_left, extend_right
 
@@ -89,6 +90,7 @@ def dmrg(operator: MPO, psi0: MPS, config: DMRGConfig, *,
 
     result = DMRGResult(energy=np.inf)
     last_energy = np.inf
+    plan_stats = PlanStatsRecorder(backend)
 
     for sweep_id in range(len(config.sweeps)):
         maxdim = config.sweeps.maxdims[sweep_id]
@@ -98,6 +100,7 @@ def dmrg(operator: MPO, psi0: MPS, config: DMRGConfig, *,
         sweep_maxdim = 1
         sweep_maxtrunc = 0.0
         sweep_flops0 = flopcount.total_flops()
+        plan_stats.start_sweep()
         t_sweep = time.perf_counter()
 
         ranges = config.site_ranges or [(0, n - 1)]
@@ -169,9 +172,10 @@ def dmrg(operator: MPO, psi0: MPS, config: DMRGConfig, *,
 
         seconds = time.perf_counter() - t_sweep
         dflops = flopcount.total_flops() - sweep_flops0
+        plan_hits, plan_misses = plan_stats.sweep_counts()
         result.sweep_records.append(SweepRecord(
             sweep_id, sweep_energy, sweep_maxdim, sweep_maxtrunc, seconds,
-            dflops))
+            dflops, plan_hits=plan_hits, plan_misses=plan_misses))
         result.energies.append(sweep_energy)
         result.energy = sweep_energy
         if config.verbose:  # pragma: no cover
@@ -183,6 +187,7 @@ def dmrg(operator: MPO, psi0: MPS, config: DMRGConfig, *,
             break
         last_energy = sweep_energy
 
+    plan_stats.finalize(result)
     return result, psi
 
 

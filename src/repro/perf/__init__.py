@@ -6,8 +6,9 @@ loaded lazily on first attribute access to avoid circular imports.
 """
 
 from . import flops
-from .flops import (FlopCounter, add_flops, count_flops, global_counter,
-                    reset_flops, total_flops)
+from .flops import (FlopCounter, PlanCounter, add_flops, count_flops,
+                    global_counter, plan_counter, reset_flops, reset_plans,
+                    total_flops)
 
 _LAZY = {
     "GeometricBlockModel": "block_model",
@@ -41,13 +42,17 @@ _LAZY = {
     "time_breakdown": "scaling",
     "weak_scaling": "scaling",
     "format_breakdown": "report",
+    "format_plan_cache": "report",
     "format_series": "report",
     "format_table": "report",
     "format_table1": "report",
+    "format_plan_cache_benchmark": "plan_bench",
+    "run_plan_cache_benchmark": "plan_bench",
 }
 
-__all__ = ["flops", "FlopCounter", "add_flops", "count_flops",
-           "global_counter", "reset_flops", "total_flops"] + sorted(_LAZY)
+__all__ = ["flops", "FlopCounter", "PlanCounter", "add_flops", "count_flops",
+           "global_counter", "plan_counter", "reset_flops", "reset_plans",
+           "total_flops"] + sorted(_LAZY)
 
 
 def __getattr__(name: str):

@@ -11,11 +11,16 @@ from .index import Index, fuse_indices
 from .block_tensor import BlockSparseTensor, contract, outer
 from .linalg import (SingularSpectrum, TruncationInfo, qr, spectrum_tensor,
                      svd)
+from .planner import (ContractionPlan, PlanCache, build_plan,
+                      tensor_signature)
+from .engine import contract_planned, execute_plan
 from .reshape import FusedMode, fuse_modes, matricize, split_mode
 
 __all__ = [
     "Charge", "add_charges", "negate_charge", "scale_charge", "sum_charges",
     "zero_charge", "Index", "fuse_indices", "BlockSparseTensor", "contract",
     "outer", "SingularSpectrum", "TruncationInfo", "qr", "spectrum_tensor",
-    "svd", "FusedMode", "fuse_modes", "matricize", "split_mode",
+    "svd", "ContractionPlan", "PlanCache", "build_plan", "tensor_signature",
+    "contract_planned", "execute_plan", "FusedMode", "fuse_modes",
+    "matricize", "split_mode",
 ]

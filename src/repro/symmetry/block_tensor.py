@@ -234,25 +234,38 @@ class BlockSparseTensor:
 
     def __add__(self, other: "BlockSparseTensor") -> "BlockSparseTensor":
         self._compatible(other)
+        dtype = np.result_type(self.dtype, other.dtype)
         out = self.copy()
-        out.dtype = np.result_type(self.dtype, other.dtype)
+        out.dtype = dtype
+        for key, blk in out.blocks.items():
+            if blk.dtype != dtype:
+                out.blocks[key] = blk.astype(dtype)
         for key, blk in other.blocks.items():
             if key in out.blocks:
                 out.blocks[key] = out.blocks[key] + blk
             else:
-                out.blocks[key] = blk.copy()
+                out.blocks[key] = blk.astype(dtype)
         return out
 
     def __sub__(self, other: "BlockSparseTensor") -> "BlockSparseTensor":
         return self + (other * (-1.0))
 
     def __mul__(self, scalar) -> "BlockSparseTensor":
-        out = BlockSparseTensor(
-            self.indices, {k: v * scalar for k, v in self.blocks.items()},
-            flux=self.flux,
-            dtype=np.result_type(self.dtype, np.asarray(scalar).dtype),
-            check=False)
-        return out
+        blocks = {k: v * scalar for k, v in self.blocks.items()}
+        if blocks:
+            # let NumPy's promotion decide, then keep attribute and blocks in
+            # agreement (result_type on the stored dtype alone can disagree
+            # with value-based scalar promotion, e.g. complex64 * 2.0)
+            dtype = np.result_type(*(b.dtype for b in blocks.values()))
+            for key, blk in blocks.items():
+                if blk.dtype != dtype:
+                    blocks[key] = blk.astype(dtype)
+        else:
+            # same promotion as the non-empty branch, so the result dtype
+            # does not depend on whether blocks happen to be stored
+            dtype = (np.zeros(0, dtype=self.dtype) * scalar).dtype
+        return BlockSparseTensor(self.indices, blocks, flux=self.flux,
+                                 dtype=dtype, check=False)
 
     __rmul__ = __mul__
 
@@ -370,8 +383,9 @@ class BlockSparseTensor:
             _flops.add_flops(nflops, "gemm")
         if not out_indices:
             # full contraction to a scalar: represent as 0-d is not supported;
-            # return the scalar directly.
-            total = 0.0
+            # return a scalar of the result dtype directly (even when no
+            # block pairs matched).
+            total = out_dtype.type(0)
             for blk in out_blocks.values():
                 total = total + blk
             return total  # type: ignore[return-value]

@@ -246,10 +246,10 @@ def svd(t: BlockSparseTensor, row_axes: Sequence[int],
         sector_id += 1
 
     if not charges:
-        # degenerate case: tensor had no blocks; produce a trivial bond
+        # degenerate case: tensor had no blocks; produce a trivial bond.
+        # The emitted bond has dimension 1, so report kept_dim=1.
         charges = [zero_charge(t.nsym)]
         values = [np.zeros(1)]
-        nk = 1
         new_left = Index(charges, [1], flow=-1, tag=new_tag)
         new_right = Index(charges, [1], flow=1, tag=new_tag)
         u_idx = tuple(t.indices[a] for a in row_axes) + (new_left,)
@@ -257,7 +257,7 @@ def svd(t: BlockSparseTensor, row_axes: Sequence[int],
         U = BlockSparseTensor.zeros(u_idx, flux=zero_charge(t.nsym), dtype=t.dtype)
         Vh = BlockSparseTensor.zeros(v_idx, flux=t.flux, dtype=t.dtype)
         spec = SingularSpectrum(charges, values)
-        info = TruncationInfo(0, 0.0, 0.0, spec)
+        info = TruncationInfo(1, 0.0, 0.0, spec)
         return U, spec, Vh, info
 
     dims = [len(v) for v in values]

@@ -1,0 +1,27 @@
+# Development entry points for the SC'20 distributed-DMRG reproduction.
+#
+#   make check        - everything CI runs: tests + docstring gate + bench smoke
+#   make test         - tier-1 test suite (pytest, stops at first failure)
+#   make doccheck     - docstring-presence gate over the public ctf/ surface
+#   make bench-smoke  - measured benchmarks at tiny sizes + plan-aware
+#                       cost-model invariants (python -m repro bench --smoke)
+#   make bench        - regenerate the paper-figure benchmark tables
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: check test doccheck bench-smoke bench
+
+check: test doccheck bench-smoke
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+doccheck:
+	$(PYTHON) tools/check_docstrings.py src/repro/ctf
+
+bench-smoke:
+	$(PYTHON) -m repro bench --smoke
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ -q --benchmark-only

@@ -87,4 +87,5 @@ class DirectBackend(ContractionBackend):
 
     def contract(self, a: BlockSparseTensor, b: BlockSparseTensor,
                  axes: tuple[Sequence[int], Sequence[int]]) -> BlockSparseTensor:
+        """Contract locally through the planner (no cost model attached)."""
         return contract_planned(a, b, axes, cache=self.plan_cache)

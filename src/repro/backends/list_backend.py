@@ -34,6 +34,7 @@ class ListBackend(ContractionBackend):
 
     def contract(self, a: BlockSparseTensor, b: BlockSparseTensor,
                  axes: tuple[Sequence[int], Sequence[int]]) -> BlockSparseTensor:
+        """Contract block pairs individually, charging one superstep each."""
         plan = plan_for(a, b, axes, self.plan_cache)
         # one superstep per block pair (Table II: O(N_b) supersteps), sized
         # by the pair's precomputed flops and operand/output block sizes

@@ -36,10 +36,10 @@ class SparseDenseBackend(ContractionBackend):
 
     def contract(self, a: BlockSparseTensor, b: BlockSparseTensor,
                  axes: tuple[Sequence[int], Sequence[int]]) -> BlockSparseTensor:
+        """Contract; dense pricing for Davidson intermediates, else planned."""
         # exact numerics through the planned block layer
         plan = plan_for(a, b, axes, self.plan_cache)
         result = execute_cached(plan, a, b, self.plan_cache)
-        executed = plan.total_flops
 
         if isinstance(result, BlockSparseTensor):
             out_dense_size = result.dense_size
@@ -47,15 +47,15 @@ class SparseDenseBackend(ContractionBackend):
         else:  # scalar output
             out_dense_size = 1
             out_is_dense = False
+        a_is_dense = self._is_davidson_intermediate(a)
+        b_is_dense = self._is_davidson_intermediate(b)
 
-        # operands kept sparse unless they are Davidson intermediates
-        size_a = a.dense_size if self._is_davidson_intermediate(a) else a.nnz
-        size_b = b.dense_size if self._is_davidson_intermediate(b) else b.nnz
-        size_c = out_dense_size if out_is_dense else (
-            result.nnz if isinstance(result, BlockSparseTensor) else 1)
-
-        if out_is_dense or self._is_davidson_intermediate(a) or \
-                self._is_davidson_intermediate(b):
+        if out_is_dense or a_is_dense or b_is_dense:
+            # operands kept sparse unless they are Davidson intermediates
+            size_a = a.dense_size if a_is_dense else a.nnz
+            size_b = b.dense_size if b_is_dense else b.nnz
+            size_c = out_dense_size if out_is_dense else (
+                result.nnz if isinstance(result, BlockSparseTensor) else 1)
             # a dense contraction performs the full (unblocked) flop count:
             # with the blocks embedded at their offsets the dense kernel also
             # multiplies the zero background
@@ -67,7 +67,10 @@ class SparseDenseBackend(ContractionBackend):
             modelled = 2.0 * free_a * contracted_dim * free_b
             self.world.charge_dense_contraction(modelled, size_a, size_b, size_c)
         else:
-            self.world.charge_sparse_contraction(executed, size_a, size_b, size_c)
+            # all-sparse operands: price the planned layout (block-aligned
+            # volumes) rather than the aggregate nnz
+            self.world.charge_planned_contraction(plan,
+                                                  algorithm="sparse-dense")
         return result
 
     def svd(self, t: BlockSparseTensor, row_axes: Sequence[int],

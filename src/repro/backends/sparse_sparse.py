@@ -59,17 +59,22 @@ class SparseSparseBackend(ContractionBackend):
     # -- backend API ----------------------------------------------------------
     def contract(self, a: BlockSparseTensor, b: BlockSparseTensor,
                  axes: tuple[Sequence[int], Sequence[int]]) -> BlockSparseTensor:
+        """Contract as one sparse tensor op, priced from the compiled plan."""
         use_sparse_exec = (self.execute_sparse and
                            a.dense_size <= self.sparse_execution_limit and
                            b.dense_size <= self.sparse_execution_limit)
         if use_sparse_exec:
             return self._contract_via_sparse(a, b, axes)
         # the plan's output-block list is exactly the "precomputed output
-        # sparsity" the sparse-sparse algorithm hands to Cyclops
+        # sparsity" the sparse-sparse algorithm hands to Cyclops, and its
+        # block-pair structure is what the plan-aware cost model prices
+        # (block-aligned communication volumes instead of aggregate nnz)
         plan = plan_for(a, b, axes, self.plan_cache)
         result = execute_cached(plan, a, b, self.plan_cache)
-        self.world.charge_sparse_contraction(plan.total_flops, a.nnz, b.nnz,
-                                             plan.out_nnz)
+        # operand_nnz makes the world charge the operands' remapping onto the
+        # contraction grid first (plan-aware volumes, capped at stored nnz)
+        self.world.charge_planned_contraction(plan,
+                                              operand_nnz=(a.nnz, b.nnz))
         return result
 
     def svd(self, t: BlockSparseTensor, row_axes: Sequence[int],

@@ -11,10 +11,12 @@ Two subcommands cover the everyday workflows:
     block-sparsity backends mapped to a simulated machine, measure the
     requested observables, and print/save a report.
 
-``python -m repro bench``
-    Benchmark smoke target: exercise the measured (not modelled) benchmarks —
-    the plan-cache/fused-GEMM comparison and the micro-kernel suite — at tiny
-    sizes, so the perf code cannot silently rot.
+``python -m repro bench --smoke``
+    Benchmark smoke target: exercise the measured benchmarks — the
+    plan-cache/fused-GEMM comparison and the micro-kernel suite — at tiny
+    sizes, and assert the plan-aware distributed cost model's invariants
+    (equal to the aggregate model on a dense block, never worse on
+    block-sparse structure), so the perf code cannot silently rot.
 
 The CLI only composes the public library API — everything it does can be done
 from a notebook with the same calls — but it gives the benchmark scripts and
@@ -146,8 +148,21 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
-    """Run the benchmark smoke targets (measured, not modelled)."""
+    """Run the benchmark smoke targets (measured + modelled consistency)."""
     rc = 0
+    if args.target in ("all", "plan-cost"):
+        from .perf.plan_bench import (format_plan_cost_check,
+                                      run_plan_cost_check)
+        if args.full:
+            stats = run_plan_cost_check(m=2048, nodes=64)
+        else:
+            stats = run_plan_cost_check()
+        print(format_plan_cost_check(stats))
+        if not (stats["dense_equal"] and stats["block_not_worse"]
+                and stats["redis_strictly_less"]):
+            print("error: plan-aware cost model violated an invariant "
+                  "(see table above)", file=sys.stderr)
+            rc = 1
     if args.target in ("all", "plan-cache"):
         from .perf.plan_bench import (format_plan_cache_benchmark,
                                       run_plan_cache_benchmark)
@@ -221,9 +236,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench = sub.add_parser(
         "bench", help="run benchmark smoke targets (tiny sizes)")
     p_bench.add_argument("--target", default="all",
-                         choices=["all", "plan-cache", "micro-kernels"])
-    p_bench.add_argument("--full", action="store_true",
-                         help="full benchmark sizes instead of the smoke run")
+                         choices=["all", "plan-cost", "plan-cache",
+                                  "micro-kernels"])
+    size = p_bench.add_mutually_exclusive_group()
+    size.add_argument("--full", action="store_true",
+                      help="full benchmark sizes instead of the smoke run")
+    size.add_argument("--smoke", action="store_true",
+                      help="tiny smoke sizes (the default; the flag makes "
+                           "the intent explicit in scripts/CI)")
     p_bench.set_defaults(func=cmd_bench)
     return parser
 

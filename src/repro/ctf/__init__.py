@@ -22,8 +22,12 @@ from .topology import (FatTree, SingleNode, Topology, Torus3D,
 from .collectives import CollectiveCost, CollectiveModel
 from .mapping import (GemmShape, MappingDecision, RedistributionPlan,
                       candidate_mappings, choose_mapping,
-                      gemm_shape_of_contraction, redistribution_plan,
-                      summa_25d, summa_2d, summa_3d, tensor_grid_for_shape)
+                      gemm_shape_of_contraction, plan_candidate_mappings,
+                      redistribution_plan, summa_25d, summa_2d, summa_3d,
+                      tensor_grid_for_shape)
+from .plan_cost import (PairCost, PlanCost, as_plan_cost,
+                        choose_plan_mapping, lower_plan,
+                        redistribution_words)
 from .memory import (Allocation, MemoryTracker, OutOfMemoryError,
                      dmrg_step_footprint_bytes, minimum_nodes)
 
@@ -39,8 +43,10 @@ __all__ = [
     "CollectiveCost", "CollectiveModel",
     "GemmShape", "MappingDecision", "RedistributionPlan",
     "candidate_mappings", "choose_mapping", "gemm_shape_of_contraction",
-    "redistribution_plan", "summa_25d", "summa_2d", "summa_3d",
-    "tensor_grid_for_shape",
+    "plan_candidate_mappings", "redistribution_plan", "summa_25d", "summa_2d",
+    "summa_3d", "tensor_grid_for_shape",
+    "PairCost", "PlanCost", "as_plan_cost", "choose_plan_mapping",
+    "lower_plan", "redistribution_words",
     "Allocation", "MemoryTracker", "OutOfMemoryError",
     "dmrg_step_footprint_bytes", "minimum_nodes",
 ]

@@ -46,25 +46,30 @@ class MachineSpec:
 
     def gemm_seconds(self, flops: float, nodes: int,
                      parallel_efficiency: float = 1.0) -> float:
-        """Time to execute ``flops`` of dense GEMM work on ``nodes`` nodes."""
+        """Seconds to execute ``flops`` floating-point operations of dense
+        GEMM work on ``nodes`` nodes at the given parallel efficiency
+        (fraction of the aggregate peak rate, 0..1]."""
         rate = self.gemm_gflops_per_node * 1e9 * nodes * parallel_efficiency
         return flops / rate if rate > 0 else 0.0
 
     def sparse_seconds(self, flops: float, nodes: int,
                        parallel_efficiency: float = 1.0) -> float:
-        """Time to execute ``flops`` of sparse kernel work on ``nodes`` nodes."""
+        """Seconds to execute ``flops`` floating-point operations of sparse
+        kernel work on ``nodes`` nodes at the given parallel efficiency."""
         rate = self.sparse_gflops_per_node * 1e9 * nodes * parallel_efficiency
         return flops / rate if rate > 0 else 0.0
 
     def svd_seconds(self, flops: float, nodes: int,
                     parallel_efficiency: float = 0.5) -> float:
-        """Time for distributed SVD work (ScaLAPACK ``pdgesvd`` model)."""
+        """Seconds for ``flops`` of distributed SVD work (ScaLAPACK
+        ``pdgesvd`` model)."""
         rate = self.svd_gflops_per_node * 1e9 * nodes * parallel_efficiency
         return flops / rate if rate > 0 else 0.0
 
     def comm_seconds(self, words: float, nodes: int, supersteps: float = 1.0,
                      word_bytes: int = 8, procs_per_node: int = 1) -> float:
-        """Time to move ``words`` words (per-rank critical path) plus syncs.
+        """Seconds to move ``words`` words of ``word_bytes`` bytes (per-rank
+        critical path) plus ``supersteps`` global synchronizations.
 
         Every rank on a node shares the node's injection bandwidth, so the
         per-node transfer time is ``procs_per_node * words * word_bytes``

@@ -35,7 +35,11 @@ from .distribution import factor_processor_grid
 # --------------------------------------------------------------------------- #
 @dataclass(frozen=True)
 class GemmShape:
-    """Dimensions of a matricized contraction ``C[m, n] += A[m, k] B[k, n]``."""
+    """Dimensions of a matricized contraction ``C[m, n] += A[m, k] B[k, n]``.
+
+    ``flops`` is in floating-point operations; the ``words_*`` properties are
+    operand sizes in words (8-byte elements).
+    """
 
     m: int
     n: int
@@ -48,18 +52,22 @@ class GemmShape:
 
     @property
     def words_a(self) -> float:
+        """Elements (words) of the ``m x k`` operand A."""
         return float(self.m) * self.k
 
     @property
     def words_b(self) -> float:
+        """Elements (words) of the ``k x n`` operand B."""
         return float(self.k) * self.n
 
     @property
     def words_c(self) -> float:
+        """Elements (words) of the ``m x n`` output C."""
         return float(self.m) * self.n
 
     @property
     def total_words(self) -> float:
+        """Combined operand + output words of the GEMM."""
         return self.words_a + self.words_b + self.words_c
 
 
@@ -86,15 +94,34 @@ def gemm_shape_of_contraction(shape_a: Sequence[int], shape_b: Sequence[int],
 # --------------------------------------------------------------------------- #
 @dataclass(frozen=True)
 class MappingDecision:
-    """One way of executing a distributed contraction."""
+    """One way of executing a distributed contraction.
 
-    algorithm: str                  # "summa-2d", "summa-25d", "summa-3d"
+    Attributes
+    ----------
+    algorithm:
+        ``"summa-2d"``, ``"summa-25d"`` or ``"summa-3d"``.
+    grid:
+        The processor grid the algorithm runs on.
+    replication:
+        The "c" of 2.5D algorithms (1 for 2D).
+    words_per_rank:
+        Communication volume along the critical path, in words
+        (8-byte elements) per rank.
+    supersteps:
+        Number of global synchronizations.
+    memory_words_per_rank:
+        Working-set size per rank, in words.
+    seconds:
+        Modelled communication time in seconds.
+    """
+
+    algorithm: str
     grid: Tuple[int, ...]
-    replication: int                # the "c" of 2.5D algorithms (1 for 2D)
-    words_per_rank: float           # communication volume along the critical path
-    supersteps: float               # global synchronizations
-    memory_words_per_rank: float    # working-set size per rank
-    seconds: float                  # modelled communication time
+    replication: int
+    words_per_rank: float
+    supersteps: float
+    memory_words_per_rank: float
+    seconds: float
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"MappingDecision({self.algorithm}, grid={self.grid}, "
@@ -172,18 +199,110 @@ def candidate_mappings(shape: GemmShape, nprocs: int,
     return cands
 
 
-def choose_mapping(shape: GemmShape, nprocs: int, model: CollectiveModel, *,
-                   memory_words_per_rank: float | None = None
+def _combine_pair_decisions(decisions: Sequence[MappingDecision],
+                            owned_words_per_rank: Sequence[float],
+                            resident_words_per_rank: float = 0.0
+                            ) -> MappingDecision:
+    """Aggregate per-pair decisions of one candidate family into one decision.
+
+    Communication words, supersteps and seconds add across the pairs (they
+    execute sequentially on the same grid).  The memory requirement is the
+    mapping-independent resident set (each rank's owned share of every
+    distinct block the plan touches, supplied by the caller) plus the
+    largest single pair's *transient* working set — its candidate memory
+    minus that pair's owned share (``owned_words_per_rank``), so owned block
+    storage is counted exactly once.
+    """
+    first = decisions[0]
+    transient = max(max(d.memory_words_per_rank - own, 0.0)
+                    for d, own in zip(decisions, owned_words_per_rank))
+    return MappingDecision(
+        first.algorithm, first.grid, first.replication,
+        sum(d.words_per_rank for d in decisions),
+        sum(d.supersteps for d in decisions),
+        resident_words_per_rank + transient,
+        sum(d.seconds for d in decisions))
+
+
+def plan_candidate_mappings(pair_shapes: Sequence[GemmShape], nprocs: int,
+                            model: CollectiveModel,
+                            resident_words_per_rank: float = 0.0
+                            ) -> List[MappingDecision]:
+    """Candidate mappings scored against a plan's per-block-pair GEMM shapes.
+
+    Each candidate family (2D, 2.5D at each replication factor, 3D) is priced
+    as the sum of its per-pair costs — the quantity a contraction plan
+    actually executes — rather than from one aggregate shape.  The candidate
+    set is the same as :func:`candidate_mappings`, whose grids and
+    replication factors depend only on ``nprocs``; the per-shape candidate
+    lists therefore align positionally and combine family by family.
+    ``resident_words_per_rank`` (words) is the per-rank share of the plan's
+    distinct blocks, which no mapping choice can avoid holding; each
+    candidate's memory requirement is that floor plus its largest transient
+    per-pair working set.
+    """
+    if not pair_shapes:
+        raise ValueError("need at least one pair shape")
+    per_shape = [candidate_mappings(s, nprocs, model) for s in pair_shapes]
+    owned = [s.total_words / max(nprocs, 1) for s in pair_shapes]
+    return [_combine_pair_decisions(list(family), owned,
+                                    resident_words_per_rank)
+            for family in zip(*per_shape)]
+
+
+def choose_mapping(shape: GemmShape | None, nprocs: int,
+                   model: CollectiveModel, *,
+                   memory_words_per_rank: float | None = None,
+                   pair_shapes: Sequence[GemmShape] | None = None,
+                   resident_words_per_rank: float = 0.0
                    ) -> MappingDecision:
     """The cheapest mapping that fits in the per-rank memory budget.
 
     Without a memory budget the most communication-avoiding candidate wins
-    (the paper's assumption for block-wise contractions); with a budget, the
-    replication factor is limited exactly the way Cyclops limits it, which is
-    how the sparse single-tensor algorithms end up on the
-    ``O(M_D / p^{1/2})``-word 2D mappings of Table II.
+    (the paper's assumption for block-wise contractions); with a budget
+    (in words per rank, i.e. 8-byte elements), the replication factor is
+    limited exactly the way Cyclops limits it, which is how the sparse
+    single-tensor algorithms end up on the ``O(M_D / p^{1/2})``-word 2D
+    mappings of Table II.
+
+    Parameters
+    ----------
+    shape:
+        Aggregate GEMM dimensions of the contraction.  May be ``None`` when
+        ``pair_shapes`` is given.
+    nprocs:
+        Total number of MPI ranks.
+    model:
+        Collective cost model used to price each candidate.
+    memory_words_per_rank:
+        Optional per-rank memory budget in words; candidates exceeding it are
+        discarded (falling back to the smallest-footprint candidate when
+        nothing fits).
+    pair_shapes:
+        When given (the plan-driven scorer), candidates are priced as the sum
+        of their per-block-pair costs over these GEMM shapes instead of from
+        the single aggregate ``shape`` — this is how a
+        :class:`~repro.symmetry.planner.ContractionPlan` makes the mapping
+        decision sensitive to block structure.  Deterministic for a fixed
+        pair list.
+    resident_words_per_rank:
+        Only with ``pair_shapes``: per-rank words of owned block storage
+        every candidate must hold regardless of mapping (added to each
+        candidate's memory requirement before the budget filter).
+
+    Returns
+    -------
+    MappingDecision
+        The chosen algorithm with its modelled words/rank, supersteps,
+        memory (words/rank) and seconds.
     """
-    cands = candidate_mappings(shape, nprocs, model)
+    if pair_shapes is not None:
+        cands = plan_candidate_mappings(pair_shapes, nprocs, model,
+                                        resident_words_per_rank)
+    elif shape is not None:
+        cands = candidate_mappings(shape, nprocs, model)
+    else:
+        raise ValueError("choose_mapping needs a shape or pair_shapes")
     if memory_words_per_rank is not None:
         fitting = [c for c in cands
                    if c.memory_words_per_rank <= memory_words_per_rank]
@@ -199,7 +318,17 @@ def choose_mapping(shape: GemmShape, nprocs: int, model: CollectiveModel, *,
 # --------------------------------------------------------------------------- #
 @dataclass(frozen=True)
 class RedistributionPlan:
-    """Cost of changing a tensor's processor-grid layout."""
+    """Cost of changing a tensor's processor-grid layout.
+
+    Attributes
+    ----------
+    elements:
+        Total tensor elements (words of 8 bytes) being redistributed.
+    words_per_rank:
+        Words each rank sends/receives in the all-to-all.
+    seconds:
+        Modelled wall-clock time of the layout change in seconds.
+    """
 
     elements: float
     words_per_rank: float

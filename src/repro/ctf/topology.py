@@ -134,12 +134,15 @@ class Torus3D(Topology):
         return d / 4.0 if d % 2 == 0 else (d * d - 1) / (4.0 * d)
 
     def average_hops(self) -> float:
+        """Mean hop count between random node pairs on the torus."""
         return sum(self._dim_average(d) for d in self.dims)
 
     def diameter(self) -> int:
+        """Longest shortest path (hops) across the torus."""
         return sum(d // 2 for d in self.dims)
 
     def bisection_links(self) -> int:
+        """Links crossing a balanced bisection of the torus."""
         # cut across the largest dimension: two cut planes (torus wrap) of
         # size (product of the other dims), each with one link per node pair
         dims = sorted(self.dims)
@@ -177,6 +180,7 @@ class FatTree(Topology):
         return lvl
 
     def average_hops(self) -> float:
+        """Mean switch traversals between random node pairs."""
         # most traffic leaves the leaf switch once the machine spans several
         # leaves; two switch traversals per level crossed on average
         if self.nodes <= max(self.radix // 2, 1):
@@ -184,9 +188,11 @@ class FatTree(Topology):
         return 2.0 * self.levels()
 
     def diameter(self) -> int:
+        """Longest path: up to the root level and back down."""
         return 2 * self.levels()
 
     def bisection_links(self) -> int:
+        """Links crossing the bisection (full fat tree over the taper)."""
         # full bisection divided by the taper factor
         return max(int(self.nodes / (2.0 * self.oversubscription)), 1)
 
@@ -200,12 +206,15 @@ class SingleNode(Topology):
     hop_latency_us: float = 0.05
 
     def average_hops(self) -> float:
+        """No network hops inside a single node."""
         return 0.0
 
     def diameter(self) -> int:
+        """No network: zero hops."""
         return 0
 
     def bisection_links(self) -> int:
+        """A single (memory-bandwidth proxy) link."""
         return 1
 
 

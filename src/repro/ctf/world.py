@@ -18,6 +18,7 @@ from .bsp import (CommCost, blockwise_contraction_comm, dense_contraction_comm,
                   redistribution_comm, scalapack_svd_comm,
                   sparse_contraction_comm)
 from .machine import LAPTOP, MachineSpec
+from .plan_cost import as_plan_cost, redistribution_words
 from .profiler import Profiler
 
 
@@ -60,7 +61,23 @@ class SimWorld:
 
     def charge_dense_contraction(self, flops: float, size_a: float,
                                  size_b: float, size_c: float) -> float:
-        """One contraction of whole dense distributed tensors."""
+        """One contraction of whole dense distributed tensors.
+
+        Parameters
+        ----------
+        flops:
+            Floating-point operations the dense kernel executes.
+        size_a, size_b, size_c:
+            Dense element counts (words of 8 bytes) of the two operands and
+            the output; they set the ``O(M_D / p^{2/3})`` communication
+            volume and the transposition traffic.
+
+        Returns
+        -------
+        float
+            Modelled seconds charged to the profiler (GEMM + communication +
+            transposition).
+        """
         eff = parallel_gemm_efficiency(flops, self.nprocs)
         gemm = self.machine.gemm_seconds(flops, self.nodes, eff)
         self.profiler.add("gemm", gemm)
@@ -74,7 +91,26 @@ class SimWorld:
                                  size_b: float, size_c: float,
                                  num_blocks: int = 1,
                                  largest_block_share: float = 1.0) -> float:
-        """One block-pair contraction inside the list algorithm."""
+        """One block-pair contraction inside the list algorithm.
+
+        Parameters
+        ----------
+        flops:
+            Floating-point operations of this block pair's GEMM.
+        size_a, size_b, size_c:
+            Block element counts (words) of the pair's operands and output.
+        num_blocks:
+            Total number of block pairs in the surrounding contraction (sets
+            the load-imbalance model).
+        largest_block_share:
+            Fraction (0..1] of the total flops carried by the largest pair.
+
+        Returns
+        -------
+        float
+            Modelled seconds charged (GEMM + communication + transposition +
+            load imbalance).
+        """
         eff = parallel_gemm_efficiency(flops, self.nprocs)
         gemm = self.machine.gemm_seconds(flops, self.nodes, eff)
         self.profiler.add("gemm", gemm)
@@ -89,7 +125,27 @@ class SimWorld:
 
     def charge_sparse_contraction(self, flops: float, nnz_a: float,
                                   nnz_b: float, nnz_c: float) -> float:
-        """One contraction of whole sparse distributed tensors."""
+        """One contraction of whole sparse distributed tensors.
+
+        This is the *aggregate-nnz* model: the communication and
+        transposition volumes are the total stored nonzeros of the operands
+        and output, whether or not the block structure lets parts of them sit
+        out the contraction.  :meth:`charge_planned_contraction` is the
+        plan-aware refinement.
+
+        Parameters
+        ----------
+        flops:
+            Floating-point operations of the sparse kernel.
+        nnz_a, nnz_b, nnz_c:
+            Stored nonzeros (words of 8 bytes) of the operands and output.
+
+        Returns
+        -------
+        float
+            Modelled seconds charged (sparse kernel + communication +
+            transposition).
+        """
         eff = parallel_gemm_efficiency(flops, self.nprocs,
                                        grain_flops=5.0e5)
         kernel = self.machine.sparse_seconds(flops, self.nodes, eff)
@@ -100,8 +156,97 @@ class SimWorld:
         trans = self._charge_transpose(nnz_a + nnz_b + nnz_c)
         return kernel + comm + trans
 
+    def charge_planned_contraction(self, plan, *,
+                                   algorithm: str = "sparse-sparse",
+                                   operand_nnz: tuple | None = None) -> float:
+        """Charge a contraction priced from its compiled plan.
+
+        The plan (a :class:`~repro.symmetry.planner.ContractionPlan`) is
+        lowered with :func:`repro.ctf.plan_cost.lower_plan` into per-pair
+        GEMM shapes and block-aligned word counts, and the cost model prices
+        exactly the planned layout:
+
+        * ``algorithm="sparse-sparse"`` — the single-sparse-tensor pricing of
+          :meth:`charge_sparse_contraction`, but with communication and
+          transposition volumes reduced to the words of the blocks the plan
+          actually touches.  For a plan covering one dense block this equals
+          the aggregate model exactly; for block-sparse operands it is never
+          larger.
+        * ``algorithm="list"`` — one :meth:`charge_block_contraction` per
+          planned pair, with the plan's own pair count and largest-pair share
+          driving the load-imbalance model.
+
+        A plan with no block pairs (structurally empty output) charges
+        nothing — the plan-aware model knows no data needs to move.
+
+        Parameters
+        ----------
+        plan:
+            The compiled contraction plan to price.
+        algorithm:
+            ``"sparse-sparse"`` (whole-tensor sparse pricing, also used for
+            the sparse operands of the sparse-dense algorithm) or ``"list"``
+            (per-block-pair pricing).
+        operand_nnz:
+            Optional ``(nnz_a, nnz_b)`` stored nonzeros of the operands.
+            When given (the ``sparse-sparse`` execution recipe shared by the
+            backend and the shape-level simulation), the remapping of each
+            operand onto the contraction's processor grid is charged first —
+            plan-aware volumes capped at the stored nnz, skipped entirely for
+            a structurally empty plan.
+
+        Returns
+        -------
+        float
+            Modelled seconds charged to the profiler.
+        """
+        cost = as_plan_cost(plan)
+        if not cost.pairs:
+            return 0.0
+        seconds = 0.0
+        if operand_nnz is not None:
+            nnz_a, nnz_b = operand_nnz
+            seconds += self.charge_redistribution(nnz_a, plan=cost,
+                                                  operand="a")
+            seconds += self.charge_redistribution(nnz_b, plan=cost,
+                                                  operand="b")
+        if algorithm in ("sparse-sparse", "sparse-dense"):
+            eff = parallel_gemm_efficiency(cost.total_flops, self.nprocs,
+                                           grain_flops=5.0e5)
+            kernel = self.machine.sparse_seconds(cost.total_flops, self.nodes,
+                                                 eff)
+            self.profiler.add("gemm", kernel)
+            self.profiler.add_flops(cost.total_flops)
+            comm = self._charge_comm(
+                sparse_contraction_comm(cost.operand_a_words,
+                                        cost.operand_b_words,
+                                        cost.output_words, self.nprocs))
+            trans = self._charge_transpose(cost.touched_words)
+            return seconds + kernel + comm + trans
+        if algorithm == "list":
+            for pair in cost.pairs:
+                seconds += self.charge_block_contraction(
+                    pair.flops, pair.words_a, pair.words_b, pair.words_c,
+                    num_blocks=cost.npairs,
+                    largest_block_share=cost.largest_pair_share)
+            return seconds
+        raise ValueError(f"unknown algorithm {algorithm!r}; expected "
+                         "'sparse-sparse', 'sparse-dense' or 'list'")
+
     def charge_svd(self, rows: int, cols: int) -> float:
-        """One distributed SVD (ScaLAPACK ``pdgesvd`` model)."""
+        """One distributed SVD (ScaLAPACK ``pdgesvd`` model).
+
+        Parameters
+        ----------
+        rows, cols:
+            Matrix dimensions of the factorized (matricized) tensor.
+
+        Returns
+        -------
+        float
+            Modelled seconds charged (factorization flops at the machine's
+            SVD rate plus ScaLAPACK panel communication).
+        """
         flops = flopcount.svd_flops(rows, cols)
         compute = self.machine.svd_seconds(flops, self.nodes)
         comm = scalapack_svd_comm(rows, cols, self.nprocs)
@@ -112,10 +257,44 @@ class SimWorld:
         self.profiler.add_flops(flops)
         return seconds
 
-    def charge_redistribution(self, elements: float) -> float:
-        """A layout change of a distributed tensor (CTF mapping change)."""
-        comm = redistribution_comm(elements, self.nprocs)
-        return self._charge_comm(comm) + self._charge_transpose(elements)
+    def charge_redistribution(self, elements: float | None = None, *,
+                              plan=None, operand: str = "all") -> float:
+        """A layout change of a distributed tensor (CTF mapping change).
+
+        Parameters
+        ----------
+        elements:
+            Aggregate element count (words of 8 bytes) to move — the
+            aggregate-nnz model.  May be omitted when ``plan`` is given.
+        plan:
+            Optional :class:`~repro.symmetry.planner.ContractionPlan` (or
+            lowered :class:`~repro.ctf.plan_cost.PlanCost`).  When given, the
+            volume priced is the block-aligned
+            :func:`~repro.ctf.plan_cost.redistribution_words` of the planned
+            layout — only the blocks the plan touches move.  If ``elements``
+            is also given, the charged volume is capped at it (the planned
+            volume can only shrink the aggregate bound, never exceed it).
+        operand:
+            Which tensor of the planned contraction is being redistributed:
+            ``"a"``, ``"b"``, ``"out"`` or ``"all"``.  Ignored without
+            ``plan``.
+
+        Returns
+        -------
+        float
+            Modelled seconds charged (all-to-all communication plus local
+            repacking at memory-copy speed).
+        """
+        if plan is not None:
+            words = redistribution_words(plan, operand)
+            if elements is not None:
+                words = min(float(elements), words)
+        elif elements is not None:
+            words = float(elements)
+        else:
+            raise ValueError("charge_redistribution needs elements or a plan")
+        comm = redistribution_comm(words, self.nprocs)
+        return self._charge_comm(comm) + self._charge_transpose(words)
 
     # ------------------------------------------------------------------ #
     # bookkeeping

@@ -22,6 +22,7 @@ _LAZY = {
     "ShapeTensor": "shapesim",
     "charge_contraction": "shapesim",
     "charge_svd": "shapesim",
+    "plan_shape_contraction": "shapesim",
     "BenchmarkSystem": "systems",
     "electrons_system": "systems",
     "get_system": "systems",
@@ -35,6 +36,8 @@ _LAZY = {
     "itensor_reference": "scaling",
     "model_dmrg_step": "scaling",
     "model_sweep": "scaling",
+    "plan_aware_comparison": "scaling",
+    "site_shapes": "scaling",
     "pareto_front": "scaling",
     "peak_performance": "scaling",
     "peak_relative_efficiency": "scaling",
@@ -48,6 +51,8 @@ _LAZY = {
     "format_table1": "report",
     "format_plan_cache_benchmark": "plan_bench",
     "run_plan_cache_benchmark": "plan_bench",
+    "format_plan_cost_check": "plan_bench",
+    "run_plan_cost_check": "plan_bench",
 }
 
 __all__ = ["flops", "FlopCounter", "PlanCounter", "add_flops", "count_flops",

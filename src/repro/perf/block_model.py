@@ -66,6 +66,19 @@ class GeometricBlockModel:
         """Sum of sector dimensions (the effective bond dimension)."""
         return int(sum(self.block_dims(m)))
 
+    def bond_index(self, m: int, flow: int = 1, tag: str = "bond") -> Index:
+        """A symmetric :class:`Index` realizing the model's block structure.
+
+        Sector ``l`` carries charge ``(l,)`` and dimension ``b_l``; two such
+        indices (with opposite flows) pair exactly one block per sector, the
+        block-diagonal structure the paper's bond tensors exhibit.  This is
+        what lets the plan-aware cost model (:mod:`repro.ctf.plan_cost`)
+        price geometric-model tensors without building real MPS bonds.
+        """
+        dims = self.block_dims(m)
+        return Index([(l,) for l in range(len(dims))], dims, flow=flow,
+                     tag=tag)
+
     def fill_fraction(self, m: int, d: int = 2) -> float:
         """Fraction of a dense ``m x d x m`` MPS tensor that is stored.
 

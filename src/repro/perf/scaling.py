@@ -44,6 +44,7 @@ class StepCost:
     supersteps: float
     davidson_memory: float
     environment_memory: float
+    plan_aware: bool = False
 
     @property
     def gflops_rate(self) -> float:
@@ -110,10 +111,32 @@ def _site_shapes(system: BenchmarkSystem, m: int, site: int
     return shapes
 
 
+def site_shapes(system: BenchmarkSystem, m: int, site: int | None = None
+                ) -> Tuple[ShapeTensor, ShapeTensor, ShapeTensor, ShapeTensor,
+                           ShapeTensor, ShapeTensor]:
+    """Public accessor for the two-site step's shape tensors.
+
+    Returns ``(L, W1, W2, R, x, A1)`` — the left/right environments, the two
+    MPO site tensors, the two-site Davidson tensor and the next site tensor —
+    at bond dimension ``m`` (``site`` defaults to the middle of the chain).
+    Benchmarks use this to build contraction plans for the dominant
+    contractions without reaching into the cached internals.
+    """
+    if site is None:
+        site = system.middle_site()
+    return _site_shapes(system, m, site)
+
+
 def model_dmrg_step(system: BenchmarkSystem, m: int, world: SimWorld,
                     algorithm: str, *, site: int | None = None,
-                    davidson_matvecs: int = DAVIDSON_MATVECS) -> StepCost:
-    """Model one two-site optimization (Davidson + SVD + environment update)."""
+                    davidson_matvecs: int = DAVIDSON_MATVECS,
+                    plan_aware: bool = False) -> StepCost:
+    """Model one two-site optimization (Davidson + SVD + environment update).
+
+    With ``plan_aware=True`` every contraction is priced from its compiled
+    block-pair plan (:meth:`SimWorld.charge_planned_contraction`) instead of
+    aggregate element counts; see :mod:`repro.ctf.plan_cost`.
+    """
     if site is None:
         site = system.middle_site()
     lenv, w1, w2, renv, x, a1 = _site_shapes(system, m, site)
@@ -122,24 +145,31 @@ def model_dmrg_step(system: BenchmarkSystem, m: int, world: SimWorld,
     useful = 0.0
     # Davidson: matrix-vector products through the environments (Fig. 1d)
     for _ in range(max(davidson_matvecs, 1)):
-        t, f = charge_contraction(world, algorithm, lenv, x, ([2], [0]))
+        t, f = charge_contraction(world, algorithm, lenv, x, ([2], [0]),
+                               plan_aware=plan_aware)
         useful += f
-        t, f = charge_contraction(world, algorithm, t, w1, ([1, 2], [0, 2]))
+        t, f = charge_contraction(world, algorithm, t, w1, ([1, 2], [0, 2]),
+                               plan_aware=plan_aware)
         useful += f
-        t, f = charge_contraction(world, algorithm, t, w2, ([4, 1], [0, 2]))
+        t, f = charge_contraction(world, algorithm, t, w2, ([4, 1], [0, 2]),
+                               plan_aware=plan_aware)
         useful += f
-        t, f = charge_contraction(world, algorithm, t, renv, ([1, 4], [2, 1]))
+        t, f = charge_contraction(world, algorithm, t, renv, ([1, 4], [2, 1]),
+                               plan_aware=plan_aware)
         useful += f
     # SVD split of the optimized two-site tensor (always block-wise)
     useful += charge_svd(world, algorithm, x, [0, 1])
     # environment extension to the next center
-    t, f = charge_contraction(world, algorithm, lenv, a1, ([2], [0]))
+    t, f = charge_contraction(world, algorithm, lenv, a1, ([2], [0]),
+                               plan_aware=plan_aware)
     useful += f
-    t, f = charge_contraction(world, algorithm, t, w1, ([1, 2], [0, 2]))
+    t, f = charge_contraction(world, algorithm, t, w1, ([1, 2], [0, 2]),
+                               plan_aware=plan_aware)
     useful += f
     # closing contraction with the conjugated site tensor
     conj_a1 = ShapeTensor(tuple(ix.dual() for ix in a1.indices))
-    t, f = charge_contraction(world, algorithm, conj_a1, t, ([0, 1], [0, 2]))
+    t, f = charge_contraction(world, algorithm, conj_a1, t, ([0, 1], [0, 2]),
+                               plan_aware=plan_aware)
     useful += f
     after = world.profiler.as_dict()
 
@@ -158,7 +188,8 @@ def model_dmrg_step(system: BenchmarkSystem, m: int, world: SimWorld,
                     world.procs_per_node, world.machine.name, useful, seconds,
                     breakdown, after["comm_words"] - before["comm_words"],
                     after["supersteps"] - before["supersteps"],
-                    davidson_memory, environment_memory)
+                    davidson_memory, environment_memory,
+                    plan_aware=plan_aware)
 
 
 def itensor_reference(system: BenchmarkSystem, m: int, machine: MachineSpec,
@@ -187,13 +218,37 @@ def itensor_reference(system: BenchmarkSystem, m: int, machine: MachineSpec,
 
 
 def model_sweep(system: BenchmarkSystem, m: int, world: SimWorld,
-                algorithm: str, *, sites: Iterable[int] | None = None
-                ) -> List[StepCost]:
+                algorithm: str, *, sites: Iterable[int] | None = None,
+                plan_aware: bool = False) -> List[StepCost]:
     """Model a (half-)sweep over the given sites (default: all of them)."""
     if sites is None:
         sites = range(system.nsites - 1)
-    return [model_dmrg_step(system, m, world, algorithm, site=s)
+    return [model_dmrg_step(system, m, world, algorithm, site=s,
+                            plan_aware=plan_aware)
             for s in sites]
+
+
+def plan_aware_comparison(system: BenchmarkSystem, m: int,
+                          machine: MachineSpec, nodes: int, algorithm: str,
+                          procs_per_node: int = 16,
+                          site: int | None = None) -> Dict[str, object]:
+    """One DMRG step under the aggregate and the plan-aware cost model.
+
+    Returns both :class:`StepCost` objects plus the modelled-seconds ratio
+    ``plan_aware / aggregate`` — the delta the plan-aware benchmarks report.
+    On block-sparse inputs the plan-aware model never charges more than the
+    aggregate one (same kernel time, block-aligned communication volumes).
+    """
+    agg_world = SimWorld(nodes=nodes, procs_per_node=procs_per_node,
+                         machine=machine)
+    aggregate = model_dmrg_step(system, m, agg_world, algorithm, site=site)
+    plan_world = SimWorld(nodes=nodes, procs_per_node=procs_per_node,
+                          machine=machine)
+    planned = model_dmrg_step(system, m, plan_world, algorithm, site=site,
+                              plan_aware=True)
+    ratio = planned.seconds / aggregate.seconds if aggregate.seconds > 0 else 1.0
+    return {"aggregate": aggregate, "plan_aware": planned, "ratio": ratio,
+            "seconds_saved": aggregate.seconds - planned.seconds}
 
 
 # --------------------------------------------------------------------------- #
@@ -202,14 +257,16 @@ def model_sweep(system: BenchmarkSystem, m: int, world: SimWorld,
 def peak_performance(system: BenchmarkSystem, machine: MachineSpec,
                      algorithm: str, ms: Sequence[int],
                      nodes_for_m: Dict[int, int],
-                     procs_per_node: int = 16) -> ScalingSeries:
+                     procs_per_node: int = 16,
+                     plan_aware: bool = False) -> ScalingSeries:
     """Fig. 5: peak GFlop/s versus bond dimension (one node count per m)."""
     series = ScalingSeries(label=f"{system.name}/{algorithm}/{machine.name}")
     for m in ms:
         nodes = nodes_for_m[m]
         world = SimWorld(nodes=nodes, procs_per_node=procs_per_node,
                          machine=machine)
-        step = model_dmrg_step(system, m, world, algorithm)
+        step = model_dmrg_step(system, m, world, algorithm,
+                               plan_aware=plan_aware)
         series.add(m, step.gflops_rate, note=f"{nodes} nodes")
     return series
 
@@ -233,18 +290,20 @@ def column_times(system: BenchmarkSystem, m: int, machine: MachineSpec,
 
 def time_breakdown(system: BenchmarkSystem, m: int, machine: MachineSpec,
                    nodes: int, algorithm: str,
-                   procs_per_node: int = 16) -> Dict[str, float]:
+                   procs_per_node: int = 16,
+                   plan_aware: bool = False) -> Dict[str, float]:
     """Fig. 7: percentage of modelled time per category."""
     world = SimWorld(nodes=nodes, procs_per_node=procs_per_node,
                      machine=machine)
-    model_dmrg_step(system, m, world, algorithm)
+    model_dmrg_step(system, m, world, algorithm, plan_aware=plan_aware)
     return world.profiler.breakdown()
 
 
 def weak_scaling(system: BenchmarkSystem, machine: MachineSpec, algorithm: str,
                  pairs: Sequence[Tuple[int, int]], reference_m: int,
                  procs_per_node: int = 16,
-                 reference_machine: MachineSpec | None = None) -> ScalingSeries:
+                 reference_machine: MachineSpec | None = None,
+                 plan_aware: bool = False) -> ScalingSeries:
     """Figs. 8a/11a: relative efficiency at fixed m per node.
 
     ``pairs`` lists ``(nodes, m)`` combinations; relative efficiency is the
@@ -257,7 +316,8 @@ def weak_scaling(system: BenchmarkSystem, machine: MachineSpec, algorithm: str,
     for nodes, m in pairs:
         world = SimWorld(nodes=nodes, procs_per_node=procs_per_node,
                          machine=machine)
-        step = model_dmrg_step(system, m, world, algorithm)
+        step = model_dmrg_step(system, m, world, algorithm,
+                               plan_aware=plan_aware)
         eff = step.gflops_rate_per_node / ref.gflops_rate
         series.add(nodes, eff, note=f"m={m}")
     return series
@@ -287,14 +347,15 @@ def peak_relative_efficiency(system: BenchmarkSystem, machine: MachineSpec,
 
 def strong_scaling(system: BenchmarkSystem, machine: MachineSpec,
                    algorithm: str, m: int, nodes_list: Sequence[int],
-                   procs_per_node: int = 16
+                   procs_per_node: int = 16, plan_aware: bool = False
                    ) -> Tuple[ScalingSeries, ScalingSeries]:
     """Figs. 9/12: speedup and efficiency versus nodes at fixed ``m``."""
     times = []
     for nodes in nodes_list:
         world = SimWorld(nodes=nodes, procs_per_node=procs_per_node,
                          machine=machine)
-        step = model_dmrg_step(system, m, world, algorithm)
+        step = model_dmrg_step(system, m, world, algorithm,
+                               plan_aware=plan_aware)
         times.append(step.seconds)
     base_nodes, base_time = nodes_list[0], times[0]
     speedup = ScalingSeries(label=f"speedup/{system.name}/{algorithm}/m={m}")
@@ -310,7 +371,8 @@ def cost_time_points(system: BenchmarkSystem, machine: MachineSpec,
                      algorithms: Sequence[str], ms: Sequence[int],
                      nodes_options: Sequence[int],
                      procs_per_node_options: Sequence[int] = (16, 32),
-                     reference_m: int | None = None) -> List[Dict]:
+                     reference_m: int | None = None,
+                     plan_aware: bool = False) -> List[Dict]:
     """Figs. 10/13: relative time and node-hour cost versus single-node ITensor.
 
     The reference time for each ``m`` is extrapolated from ITensor's maximum
@@ -327,7 +389,8 @@ def cost_time_points(system: BenchmarkSystem, machine: MachineSpec,
                 for ppn in procs_per_node_options:
                     world = SimWorld(nodes=nodes, procs_per_node=ppn,
                                      machine=machine)
-                    step = model_dmrg_step(system, m, world, algorithm)
+                    step = model_dmrg_step(system, m, world, algorithm,
+                                           plan_aware=plan_aware)
                     itensor_time = step.useful_flops / ref_rate
                     if not world.fits_in_memory(
                             step.davidson_memory + step.environment_memory):

@@ -20,7 +20,14 @@ import numpy as np
 from ..ctf.world import SimWorld
 from ..symmetry import BlockSparseTensor, Index
 from ..symmetry.charges import Charge, add_charges, zero_charge
+from ..symmetry.planner import ContractionPlan, PlanCache
 from .flops import contraction_flops
+
+#: shared memo for shape-level contraction plans: the scaling experiments
+#: revisit the same (site-shape, axes) signatures thousands of times.
+#: record_global=False keeps these simulation-only lookups out of the
+#: process-global plan counter that reports on real execution
+_SHAPE_PLAN_CACHE = PlanCache(max_plans=512, record_global=False)
 
 
 @dataclass
@@ -166,12 +173,52 @@ class ShapeTensor:
                 for g in groups.values()]
 
 
+def plan_shape_contraction(a: ShapeTensor, b: ShapeTensor,
+                           axes) -> ContractionPlan:
+    """Compile (and memoize) the contraction plan of two shape tensors.
+
+    :func:`repro.symmetry.planner.build_plan` only reads operand *structure*
+    (indices, flux, stored block keys), all of which a data-free
+    :class:`ShapeTensor` carries, so shape-level simulation can feed the very
+    same plans into the plan-aware cost model that real execution would.
+    """
+    return _SHAPE_PLAN_CACHE.lookup(a, b, axes)
+
+
+def _plan_output(plan: ContractionPlan, nsym: int) -> ShapeTensor:
+    """The output ShapeTensor a plan describes (its precomputed sparsity)."""
+    if not plan.out_indices:
+        return ShapeTensor([Index.trivial(1, nsym)], zero_charge(nsym))
+    return ShapeTensor(plan.out_indices, plan.out_flux,
+                       {spec.key: spec.shape for spec in plan.out_specs})
+
+
 def charge_contraction(world: SimWorld, algorithm: str, a: ShapeTensor,
-                       b: ShapeTensor, axes) -> Tuple[ShapeTensor, float]:
+                       b: ShapeTensor, axes, *,
+                       plan_aware: bool = False) -> Tuple[ShapeTensor, float]:
     """Contract shape tensors and charge the cost model per algorithm.
+
+    With ``plan_aware=True`` the ``list`` and ``sparse-sparse`` algorithms are
+    priced through :meth:`SimWorld.charge_planned_contraction` from the
+    compiled block-pair plan (block-aligned communication volumes) instead of
+    the aggregate element counts; ``sparse-dense`` keeps its dense pricing in
+    both modes, since its Davidson intermediates genuinely process the dense
+    background.
+
+    The ``sparse-sparse`` algorithm additionally pays the remapping of each
+    operand onto the contraction's processor grid — aggregate nnz in the
+    aggregate model, the plan's block-aligned volume in plan-aware mode —
+    matching what :class:`repro.backends.sparse_sparse.SparseSparseBackend`
+    charges during real execution.
 
     Returns the output shape tensor and the total flops of the contraction.
     """
+    if plan_aware and algorithm in ("list", "sparse-sparse"):
+        plan = plan_shape_contraction(a, b, axes)
+        operand_nnz = (a.nnz, b.nnz) if algorithm == "sparse-sparse" else None
+        world.charge_planned_contraction(plan, algorithm=algorithm,
+                                         operand_nnz=operand_nnz)
+        return _plan_output(plan, a.nsym), plan.total_flops
     out, stats = a.contract(b, axes)
     total_flops = float(sum(s.flops for s in stats))
     if not stats:
@@ -195,6 +242,9 @@ def charge_contraction(world: SimWorld, algorithm: str, a: ShapeTensor,
                                        out.dense_size)
         total_flops = modelled
     elif algorithm == "sparse-sparse":
+        # operand remapping onto the contraction grid (aggregate volume)
+        world.charge_redistribution(a.nnz)
+        world.charge_redistribution(b.nnz)
         world.charge_sparse_contraction(total_flops, a.nnz, b.nnz, out.nnz)
     else:
         raise ValueError(f"unknown algorithm {algorithm!r}")

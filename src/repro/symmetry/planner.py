@@ -263,11 +263,15 @@ class PlanCache:
     """
 
     __slots__ = ("_plans", "max_plans", "hits", "misses", "plan_seconds",
-                 "execute_seconds")
+                 "execute_seconds", "record_global")
 
-    def __init__(self, max_plans: int = 8192):
+    def __init__(self, max_plans: int = 8192, record_global: bool = True):
         self._plans: Dict[Tuple, ContractionPlan] = {}
         self.max_plans = int(max_plans)
+        #: report lookups to the process-global perf counter; simulation-only
+        #: caches (e.g. shape-level modelling) disable this so the reported
+        #: plan-cache statistics stay tied to real execution
+        self.record_global = bool(record_global)
         self.hits = 0
         self.misses = 0
         self.plan_seconds = 0.0
@@ -281,14 +285,16 @@ class PlanCache:
         plan = self._plans.get(key)
         if plan is not None:
             self.hits += 1
-            _flops.plan_counter().record_lookup(True)
+            if self.record_global:
+                _flops.plan_counter().record_lookup(True)
             return plan
         t0 = time.perf_counter()
         plan = build_plan(a, b, (axes_a, axes_b))
         dt = time.perf_counter() - t0
         self.misses += 1
         self.plan_seconds += dt
-        _flops.plan_counter().record_lookup(False, plan_seconds=dt)
+        if self.record_global:
+            _flops.plan_counter().record_lookup(False, plan_seconds=dt)
         if len(self._plans) >= self.max_plans:
             # drop the oldest entry (dict preserves insertion order)
             self._plans.pop(next(iter(self._plans)))

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Docstring-presence check for the public API surface.
+
+Walks the given packages (default: ``src/repro/ctf``) and fails — exit code
+1, one line per offender — if any public module, class, function or method
+lacks a docstring.  "Public" means the name does not start with an
+underscore and is not a nested (function-local) definition; ``__init__``
+modules count, dunder methods do not.
+
+Usage::
+
+    python tools/check_docstrings.py [path ...]
+
+Part of ``make check`` (see README.md); keeps the documented guarantee that
+every public ``ctf`` entry point states its arguments, returns and units.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import sys
+
+
+def _public_defs(tree: ast.Module):
+    """Yield (node, qualified-name) for public top-level defs and methods."""
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            if node.name.startswith("_"):
+                continue
+            yield node, node.name
+            if isinstance(node, ast.ClassDef):
+                for sub in node.body:
+                    if isinstance(sub, (ast.FunctionDef,
+                                        ast.AsyncFunctionDef)) and \
+                            not sub.name.startswith("_"):
+                        yield sub, f"{node.name}.{sub.name}"
+
+
+def check_file(path: pathlib.Path) -> list[str]:
+    """Return 'path:line: message' entries for missing docstrings in a file."""
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    problems = []
+    if ast.get_docstring(tree) is None:
+        problems.append(f"{path}:1: module lacks a docstring")
+    for node, name in _public_defs(tree):
+        if ast.get_docstring(node) is None:
+            kind = "class" if isinstance(node, ast.ClassDef) else "function"
+            problems.append(
+                f"{path}:{node.lineno}: public {kind} {name!r} "
+                "lacks a docstring")
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    """Check every ``.py`` file under the given paths; 0 iff all documented."""
+    roots = [pathlib.Path(p) for p in (argv or ["src/repro/ctf"])]
+    problems: list[str] = []
+    nfiles = 0
+    for root in roots:
+        files = sorted(root.rglob("*.py")) if root.is_dir() else [root]
+        for f in files:
+            nfiles += 1
+            problems.extend(check_file(f))
+    for line in problems:
+        print(line)
+    print(f"checked {nfiles} files: "
+          f"{'OK' if not problems else f'{len(problems)} missing docstrings'}")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

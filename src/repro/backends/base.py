@@ -46,11 +46,52 @@ class ContractionBackend(ABC):
         #: memoized contraction plans, shared by every contraction this
         #: backend performs; ``None`` disables planning (naive Algorithm 2)
         self.plan_cache: Optional[PlanCache] = PlanCache()
+        # the most recent contraction plan this backend executed; the
+        # single-tensor algorithms use it to bound the format-conversion
+        # volume of a subsequent SVD at the planned (block-aligned) layout
+        self._last_plan = None
 
     @abstractmethod
     def contract(self, a: BlockSparseTensor, b: BlockSparseTensor,
-                 axes: tuple[Sequence[int], Sequence[int]]) -> BlockSparseTensor:
-        """Contract two block tensors along ``axes``."""
+                 axes: tuple[Sequence[int], Sequence[int]], *,
+                 operand_keys: tuple | None = None,
+                 out_key: str | None = None) -> BlockSparseTensor:
+        """Contract two block tensors along ``axes``.
+
+        ``operand_keys``/``out_key`` are optional layout-tracker names of the
+        operands and output (see :mod:`repro.ctf.layout`); backends with a
+        distributed cost model use them to charge redistribution only on real
+        mapping changes.  Backends without one ignore them.
+        """
+
+    def _conversion_plan(self, t: BlockSparseTensor):
+        """The cached plan whose output is ``t``, if the structure matches.
+
+        The SVD format-conversion charge of the single-tensor algorithms is
+        capped at the block-aligned words of the plan that produced the
+        tensor.  The last executed plan is used only when its output
+        signature (indices and flux) matches ``t`` — the Davidson eigenvector
+        is a linear combination of effective-Hamiltonian outputs and shares
+        their structure, while an unrelated tensor falls back to its
+        aggregate nnz.
+        """
+        plan = self._last_plan
+        if plan is not None and not plan.scalar_output and \
+                tuple(plan.out_indices) == tuple(t.indices) and \
+                tuple(plan.out_flux) == tuple(t.flux):
+            return plan
+        return None
+
+    def invalidate_layouts(self, *keys: str) -> None:
+        """Forget tracked layouts of operands rewritten outside the model.
+
+        Called by the sweep driver after an SVD replaces the site tensors:
+        their next appearance in a contraction must charge a remapping again.
+        No-op for backends without a simulated world.
+        """
+        world = getattr(self, "world", None)
+        if world is not None:
+            world.layout_tracker.invalidate(*keys)
 
     def svd(self, t: BlockSparseTensor, row_axes: Sequence[int],
             col_axes: Sequence[int] | None = None, **kwargs):
@@ -86,6 +127,8 @@ class DirectBackend(ContractionBackend):
             self.plan_cache = None
 
     def contract(self, a: BlockSparseTensor, b: BlockSparseTensor,
-                 axes: tuple[Sequence[int], Sequence[int]]) -> BlockSparseTensor:
+                 axes: tuple[Sequence[int], Sequence[int]], *,
+                 operand_keys: tuple | None = None,
+                 out_key: str | None = None) -> BlockSparseTensor:
         """Contract locally through the planner (no cost model attached)."""
         return contract_planned(a, b, axes, cache=self.plan_cache)

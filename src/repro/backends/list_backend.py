@@ -13,6 +13,7 @@ executes through the fused/batched GEMM engine.
 
 from __future__ import annotations
 
+from collections import Counter
 from typing import Dict, Sequence
 
 import numpy as np
@@ -24,25 +25,50 @@ from .base import ContractionBackend
 
 
 class ListBackend(ContractionBackend):
-    """Block-pair contraction with per-block distributed-dense cost accounting."""
+    """Block-pair contraction with per-block distributed-dense cost accounting.
+
+    Each block pair gets its own mapping decision from
+    :meth:`repro.ctf.world.SimWorld.pair_decisions` (the
+    :func:`~repro.ctf.plan_cost.pair_mapping_decisions` crossover, memoized
+    per plan): large pairs run on the communication-avoiding 3D mapping
+    Table II assumes, while pairs below the grain-efficiency crossover stay
+    on a plain 2D SUMMA grid (the replication setup of a 3D mapping cannot
+    amortize on a small block).  The 2D/3D split is tallied in
+    :attr:`mapping_counts`.
+    """
 
     name = "list"
 
     def __init__(self, world: SimWorld):
         super().__init__()
         self.world = world
+        #: how many pair contractions ran under each mapping algorithm
+        self.mapping_counts: Counter = Counter()
 
     def contract(self, a: BlockSparseTensor, b: BlockSparseTensor,
-                 axes: tuple[Sequence[int], Sequence[int]]) -> BlockSparseTensor:
-        """Contract block pairs individually, charging one superstep each."""
+                 axes: tuple[Sequence[int], Sequence[int]], *,
+                 operand_keys: tuple | None = None,
+                 out_key: str | None = None) -> BlockSparseTensor:
+        """Contract block pairs individually, charging one superstep each.
+
+        The layout-tracker keys are accepted for interface uniformity but
+        unused: the list algorithm re-maps every block pair onto its own
+        processor grid, so there is no whole-tensor layout to persist between
+        contractions (its remapping cost is part of the per-pair charge).
+        """
         plan = plan_for(a, b, axes, self.plan_cache)
+        self._last_plan = plan
         # one superstep per block pair (Table II: O(N_b) supersteps), sized
-        # by the pair's precomputed flops and operand/output block sizes
-        for pair in plan.pairs:
+        # by the pair's precomputed flops and operand/output block sizes,
+        # each priced under its own 2D-vs-3D mapping decision
+        decisions = self.world.pair_decisions(plan)
+        for pair, decision in zip(plan.pairs, decisions):
+            self.mapping_counts[decision.algorithm] += 1
             self.world.charge_block_contraction(
                 pair.flops, pair.a_size, pair.b_size, pair.out_size,
                 num_blocks=plan.npairs,
-                largest_block_share=plan.largest_pair_share)
+                largest_block_share=plan.largest_pair_share,
+                mapping=decision)
         return execute_cached(plan, a, b, self.plan_cache)
 
     def svd(self, t: BlockSparseTensor, row_axes: Sequence[int],

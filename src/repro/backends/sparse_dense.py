@@ -35,11 +35,14 @@ class SparseDenseBackend(ContractionBackend):
         return t.ndim >= self.dense_intermediate_order
 
     def contract(self, a: BlockSparseTensor, b: BlockSparseTensor,
-                 axes: tuple[Sequence[int], Sequence[int]]) -> BlockSparseTensor:
+                 axes: tuple[Sequence[int], Sequence[int]], *,
+                 operand_keys: tuple | None = None,
+                 out_key: str | None = None) -> BlockSparseTensor:
         """Contract; dense pricing for Davidson intermediates, else planned."""
         # exact numerics through the planned block layer
         plan = plan_for(a, b, axes, self.plan_cache)
         result = execute_cached(plan, a, b, self.plan_cache)
+        self._last_plan = plan
 
         if isinstance(result, BlockSparseTensor):
             out_dense_size = result.dense_size
@@ -68,9 +71,11 @@ class SparseDenseBackend(ContractionBackend):
             self.world.charge_dense_contraction(modelled, size_a, size_b, size_c)
         else:
             # all-sparse operands: price the planned layout (block-aligned
-            # volumes) rather than the aggregate nnz
+            # volumes) rather than the aggregate nnz; the output's birth
+            # layout is recorded so later contractions can reuse it in place
             self.world.charge_planned_contraction(plan,
-                                                  algorithm="sparse-dense")
+                                                  algorithm="sparse-dense",
+                                                  out_key=out_key)
         return result
 
     def svd(self, t: BlockSparseTensor, row_axes: Sequence[int],
@@ -78,8 +83,12 @@ class SparseDenseBackend(ContractionBackend):
         """SVD is always performed block-wise via the list format (paper)."""
         result = super().svd(t, row_axes, col_axes, **kwargs)
         # extraction of blocks from the single tensor into a temporary list
-        # format costs a redistribution of the tensor's elements
-        self.world.charge_redistribution(t.nnz)
+        # format costs one redistribution, capped at the block-aligned words
+        # of the plan that produced ``t`` (the densification can never move
+        # more than the planned layout stores)
+        self.world.charge_redistribution(t.nnz,
+                                         plan=self._conversion_plan(t),
+                                         operand="out")
         rows = 1
         row_axes = [int(x) % t.ndim for x in row_axes]
         for ax in row_axes:

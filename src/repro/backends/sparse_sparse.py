@@ -58,12 +58,18 @@ class SparseSparseBackend(ContractionBackend):
 
     # -- backend API ----------------------------------------------------------
     def contract(self, a: BlockSparseTensor, b: BlockSparseTensor,
-                 axes: tuple[Sequence[int], Sequence[int]]) -> BlockSparseTensor:
+                 axes: tuple[Sequence[int], Sequence[int]], *,
+                 operand_keys: tuple | None = None,
+                 out_key: str | None = None) -> BlockSparseTensor:
         """Contract as one sparse tensor op, priced from the compiled plan."""
         use_sparse_exec = (self.execute_sparse and
                            a.dense_size <= self.sparse_execution_limit and
                            b.dense_size <= self.sparse_execution_limit)
         if use_sparse_exec:
+            # the sparse execution path bypasses the planner: whatever plan
+            # ran last no longer describes the tensor returned here, so it
+            # must not cap a later SVD's format-conversion volume
+            self._last_plan = None
             return self._contract_via_sparse(a, b, axes)
         # the plan's output-block list is exactly the "precomputed output
         # sparsity" the sparse-sparse algorithm hands to Cyclops, and its
@@ -71,10 +77,15 @@ class SparseSparseBackend(ContractionBackend):
         # (block-aligned communication volumes instead of aggregate nnz)
         plan = plan_for(a, b, axes, self.plan_cache)
         result = execute_cached(plan, a, b, self.plan_cache)
+        self._last_plan = plan
         # operand_nnz makes the world charge the operands' remapping onto the
-        # contraction grid first (plan-aware volumes, capped at stored nnz)
+        # contraction grid first (plan-aware volumes, capped at stored nnz);
+        # named operands pay it only when their tracked layout actually
+        # changes, and the output's birth layout is recorded for free
         self.world.charge_planned_contraction(plan,
-                                              operand_nnz=(a.nnz, b.nnz))
+                                              operand_nnz=(a.nnz, b.nnz),
+                                              operand_keys=operand_keys,
+                                              out_key=out_key)
         return result
 
     def svd(self, t: BlockSparseTensor, row_axes: Sequence[int],
@@ -82,9 +93,12 @@ class SparseSparseBackend(ContractionBackend):
         """SVD via temporary list format (blocks extracted, then recombined)."""
         result = super().svd(t, row_axes, col_axes, **kwargs)
         # extracting blocks into the temporary list format and rebuilding the
-        # sparse tensor afterwards costs two redistributions of the nonzeros
-        self.world.charge_redistribution(t.nnz)
-        self.world.charge_redistribution(t.nnz)
+        # sparse tensor afterwards is a two-phase format conversion: two
+        # all-to-alls of the stored nonzeros sharing one repacking pass,
+        # capped at the block-aligned words of the plan that produced ``t``
+        self.world.charge_format_conversion(t.nnz, phases=2,
+                                            plan=self._conversion_plan(t),
+                                            operand="out")
         row_axes = [int(x) % t.ndim for x in row_axes]
         rows = 1
         for ax in row_axes:

@@ -14,9 +14,12 @@ Two subcommands cover the everyday workflows:
 ``python -m repro bench --smoke``
     Benchmark smoke target: exercise the measured benchmarks — the
     plan-cache/fused-GEMM comparison and the micro-kernel suite — at tiny
-    sizes, and assert the plan-aware distributed cost model's invariants
+    sizes, and assert the modelled-cost invariants: the plan-aware model's
     (equal to the aggregate model on a dense block, never worse on
-    block-sparse structure), so the perf code cannot silently rot.
+    block-sparse structure, ``plan-cost`` target) and the sweep-persistent
+    layout tracker's (first touch charges, unchanged layouts free, tracked
+    total never worse, transposition share strictly shrinks, ``layout``
+    target), so the perf code cannot silently rot.
 
 The CLI only composes the public library API — everything it does can be done
 from a notebook with the same calls — but it gives the benchmark scripts and
@@ -163,6 +166,19 @@ def cmd_bench(args: argparse.Namespace) -> int:
             print("error: plan-aware cost model violated an invariant "
                   "(see table above)", file=sys.stderr)
             rc = 1
+    if args.target in ("all", "layout"):
+        from .perf.plan_bench import format_layout_check, run_layout_check
+        if args.full:
+            stats = run_layout_check(m=1024, nodes=64)
+        else:
+            stats = run_layout_check()
+        print(format_layout_check(stats))
+        if not (stats["first_touch_charges"] and stats["unchanged_free"]
+                and stats["tracked_not_worse"]
+                and stats["transposition_share_decreases"]):
+            print("error: sweep-persistent layout tracker violated an "
+                  "invariant (see table above)", file=sys.stderr)
+            rc = 1
     if args.target in ("all", "plan-cache"):
         from .perf.plan_bench import (format_plan_cache_benchmark,
                                       run_plan_cache_benchmark)
@@ -236,7 +252,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench = sub.add_parser(
         "bench", help="run benchmark smoke targets (tiny sizes)")
     p_bench.add_argument("--target", default="all",
-                         choices=["all", "plan-cost", "plan-cache",
+                         choices=["all", "plan-cost", "layout", "plan-cache",
                                   "micro-kernels"])
     size = p_bench.add_mutually_exclusive_group()
     size.add_argument("--full", action="store_true",

@@ -25,9 +25,12 @@ from .mapping import (GemmShape, MappingDecision, RedistributionPlan,
                       gemm_shape_of_contraction, plan_candidate_mappings,
                       redistribution_plan, summa_25d, summa_2d, summa_3d,
                       tensor_grid_for_shape)
-from .plan_cost import (PairCost, PlanCost, as_plan_cost,
-                        choose_plan_mapping, lower_plan,
-                        redistribution_words)
+from .plan_cost import (GRAIN_EFFICIENCY_CROSSOVER, PairCost, PlanCost,
+                        as_plan_cost, choose_plan_mapping, lower_plan,
+                        pair_mapping_decisions, redistribution_words)
+from .layout import (LayoutTracker, TensorLayout, davidson_key,
+                     heff_operand_keys, left_env_key, mpo_key, right_env_key,
+                     site_key)
 from .memory import (Allocation, MemoryTracker, OutOfMemoryError,
                      dmrg_step_footprint_bytes, minimum_nodes)
 
@@ -45,8 +48,11 @@ __all__ = [
     "candidate_mappings", "choose_mapping", "gemm_shape_of_contraction",
     "plan_candidate_mappings", "redistribution_plan", "summa_25d", "summa_2d",
     "summa_3d", "tensor_grid_for_shape",
-    "PairCost", "PlanCost", "as_plan_cost", "choose_plan_mapping",
-    "lower_plan", "redistribution_words",
+    "GRAIN_EFFICIENCY_CROSSOVER", "PairCost", "PlanCost", "as_plan_cost",
+    "choose_plan_mapping", "lower_plan", "pair_mapping_decisions",
+    "redistribution_words",
+    "LayoutTracker", "TensorLayout", "davidson_key", "heff_operand_keys",
+    "left_env_key", "mpo_key", "right_env_key", "site_key",
     "Allocation", "MemoryTracker", "OutOfMemoryError",
     "dmrg_step_footprint_bytes", "minimum_nodes",
 ]

@@ -37,8 +37,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Tuple
 
+from .bsp import parallel_gemm_efficiency
 from .collectives import CollectiveModel
-from .mapping import GemmShape, MappingDecision, choose_mapping
+from .mapping import GemmShape, MappingDecision, choose_mapping, summa_2d
 
 
 @dataclass(frozen=True)
@@ -226,3 +227,52 @@ def choose_plan_mapping(plan_or_cost, nprocs: int, model: CollectiveModel, *,
                           memory_words_per_rank=memory_words_per_rank,
                           pair_shapes=cost.pair_shapes,
                           resident_words_per_rank=resident)
+
+
+#: a block pair whose distributed GEMM runs below this parallel efficiency is
+#: too fine-grained to amortize a replicated (2.5D/3D) mapping's setup; the
+#: mapper keeps it on a plain 2D SUMMA grid instead
+GRAIN_EFFICIENCY_CROSSOVER = 0.5
+
+
+def pair_mapping_decisions(plan_or_cost, nprocs: int, model: CollectiveModel,
+                           *, grain_efficiency: float =
+                           GRAIN_EFFICIENCY_CROSSOVER
+                           ) -> Tuple[MappingDecision, ...]:
+    """Per-block-pair mapping decisions with a 2D-vs-3D crossover.
+
+    The ``list`` algorithm contracts each block pair as its own distributed
+    dense contraction, so each pair gets its own mapping decision.  Large
+    pairs take the communication-avoiding candidate
+    :func:`~repro.ctf.mapping.choose_mapping` picks (the paper's Table II
+    assumption of a 3D mapping); pairs whose
+    :func:`~repro.ctf.bsp.parallel_gemm_efficiency` falls below
+    ``grain_efficiency`` are too small to amortize the replication setup of a
+    2.5D/3D mapping and are kept on a plain 2D SUMMA grid — the
+    grain-efficiency crossover the paper attributes to contracting small
+    tensors in a distributed way (Section VI-B).
+
+    Parameters
+    ----------
+    plan_or_cost:
+        A ``ContractionPlan`` or its lowered :class:`PlanCost`.
+    nprocs:
+        Total MPI ranks executing each pair's contraction.
+    model:
+        Collective cost model pricing the candidate algorithms.
+    grain_efficiency:
+        Parallel-efficiency threshold (0..1) below which a pair maps 2D.
+
+    Returns
+    -------
+    tuple of MappingDecision
+        One decision per plan pair, in plan order (deterministic).
+    """
+    cost = as_plan_cost(plan_or_cost)
+    decisions = []
+    for pair in cost.pairs:
+        if parallel_gemm_efficiency(pair.flops, nprocs) < grain_efficiency:
+            decisions.append(summa_2d(pair.shape, nprocs, model))
+        else:
+            decisions.append(choose_mapping(pair.shape, nprocs, model))
+    return tuple(decisions)

@@ -20,10 +20,21 @@ from typing import Dict
 
 CATEGORIES = ("gemm", "communication", "transposition", "svd", "imbalance")
 
+#: keys of :meth:`Profiler.as_dict` that are not time categories; a category
+#: must never shadow them
+_RESERVED = ("total", "comm_words", "supersteps", "flops")
+
 
 @dataclass
 class Profiler:
-    """Accumulates modelled (or measured) seconds per category."""
+    """Accumulates modelled (or measured) seconds per category.
+
+    The canonical categories are the paper's Fig. 7 set (:data:`CATEGORIES`);
+    custom labels recorded through :meth:`section` (or merged in from another
+    profiler) are carried alongside them, and every reporting method —
+    :meth:`total_seconds`, :meth:`breakdown`, :meth:`as_dict` — accounts for
+    *all* recorded categories, so percentages always sum to 100.
+    """
 
     seconds: Dict[str, float] = field(
         default_factory=lambda: defaultdict(float))
@@ -32,15 +43,29 @@ class Profiler:
     supersteps: float = 0.0
     flops: float = 0.0
 
-    def add(self, category: str, seconds: float, *, count: int = 1) -> None:
-        """Charge ``seconds`` of time to ``category``."""
-        if category not in CATEGORIES:
+    def add(self, category: str, seconds: float, *, count: int = 1,
+            allow_custom: bool = False) -> None:
+        """Charge ``seconds`` of time to ``category``.
+
+        Modelled charges must use the canonical Fig. 7 :data:`CATEGORIES`
+        (anything else raises, catching typos); ``allow_custom=True`` admits
+        a custom label, which :meth:`section` uses for measured wall-clock
+        sections.
+        """
+        if category in _RESERVED or not category:
+            raise ValueError(f"category {category!r} is reserved")
+        if not allow_custom and category not in CATEGORIES:
             raise ValueError(f"unknown category {category!r}; "
                              f"expected one of {CATEGORIES}")
         if seconds < 0:
             raise ValueError("cannot charge negative time")
         self.seconds[category] += seconds
         self.counts[category] += count
+
+    def categories(self) -> tuple:
+        """All categories with recorded time: Fig. 7 set plus custom labels."""
+        extra = sorted(k for k in self.seconds if k not in CATEGORIES)
+        return CATEGORIES + tuple(extra)
 
     def add_communication(self, words: float, supersteps: float,
                           seconds: float) -> None:
@@ -58,11 +83,17 @@ class Profiler:
         return float(sum(self.seconds.values()))
 
     def breakdown(self) -> Dict[str, float]:
-        """Percentage of time per category (the paper's Fig. 7 quantity)."""
+        """Percentage of time per category (the paper's Fig. 7 quantity).
+
+        Covers every recorded category — custom :meth:`section` labels
+        included — so the shares always sum to 100 (they used to silently
+        drop non-canonical categories that :meth:`total_seconds` counted).
+        """
+        cats = self.categories()
         total = self.total_seconds()
         if total <= 0:
-            return {c: 0.0 for c in CATEGORIES}
-        return {c: 100.0 * self.seconds.get(c, 0.0) / total for c in CATEGORIES}
+            return {c: 0.0 for c in cats}
+        return {c: 100.0 * self.seconds.get(c, 0.0) / total for c in cats}
 
     def gflops_rate(self) -> float:
         """Aggregate performance rate in GFlop/s over the modelled time."""
@@ -89,17 +120,21 @@ class Profiler:
 
     @contextmanager
     def section(self, category: str):
-        """Measure wall-clock time of a real code section into a category."""
+        """Measure wall-clock time of a real code section into a category.
+
+        Any label is accepted — custom sections show up in
+        :meth:`breakdown`/:meth:`as_dict` alongside the Fig. 7 categories.
+        """
         import time
         t0 = time.perf_counter()
         try:
             yield
         finally:
-            self.add(category, time.perf_counter() - t0)
+            self.add(category, time.perf_counter() - t0, allow_custom=True)
 
     def as_dict(self) -> Dict[str, float]:
-        """Plain-dict snapshot (seconds per category plus totals)."""
-        out = {c: self.seconds.get(c, 0.0) for c in CATEGORIES}
+        """Plain-dict snapshot (seconds per recorded category plus totals)."""
+        out = {c: self.seconds.get(c, 0.0) for c in self.categories()}
         out["total"] = self.total_seconds()
         out["comm_words"] = self.comm_words
         out["supersteps"] = self.supersteps

@@ -17,8 +17,12 @@ from .bsp import (CommCost, blockwise_contraction_comm, dense_contraction_comm,
                   load_imbalance_fraction, parallel_gemm_efficiency,
                   redistribution_comm, scalapack_svd_comm,
                   sparse_contraction_comm)
+from .collectives import CollectiveModel
+from .layout import LayoutTracker, TensorLayout
 from .machine import LAPTOP, MachineSpec
-from .plan_cost import as_plan_cost, redistribution_words
+from .mapping import MappingDecision
+from .plan_cost import (as_plan_cost, choose_plan_mapping,
+                        pair_mapping_decisions, redistribution_words)
 from .profiler import Profiler
 
 
@@ -30,10 +34,31 @@ class SimWorld:
     procs_per_node: int = 16
     machine: MachineSpec = LAPTOP
     profiler: Profiler = field(default_factory=Profiler)
+    #: sweep-persistent per-operand layouts (see :mod:`repro.ctf.layout`)
+    layout_tracker: LayoutTracker = field(default_factory=LayoutTracker)
 
     def __post_init__(self):
         if self.nodes < 1 or self.procs_per_node < 1:
             raise ValueError("nodes and procs_per_node must be positive")
+        self._collective_model: CollectiveModel | None = None
+        # memoized mapping decisions keyed by id of the lowered PlanCost; the
+        # cost object itself is kept in the value so the id stays valid
+        self._preferred_mappings: dict = {}
+        self._pair_decisions: dict = {}
+
+    @staticmethod
+    def _memo_per_cost(cache: dict, cost, factory):
+        """Memoize ``factory(cost)`` per lowered plan cost (id-keyed)."""
+        cached = cache.get(id(cost))
+        if cached is not None and cached[0] is cost:
+            return cached[1]
+        value = factory(cost)
+        if len(cache) > 512:
+            # drop one arbitrary (oldest-inserted) entry; a wholesale clear
+            # would also evict the hot plans still being re-charged
+            cache.pop(next(iter(cache)))
+        cache[id(cost)] = (cost, value)
+        return value
 
     @property
     def nprocs(self) -> int:
@@ -90,7 +115,9 @@ class SimWorld:
     def charge_block_contraction(self, flops: float, size_a: float,
                                  size_b: float, size_c: float,
                                  num_blocks: int = 1,
-                                 largest_block_share: float = 1.0) -> float:
+                                 largest_block_share: float = 1.0,
+                                 mapping: MappingDecision | None = None
+                                 ) -> float:
         """One block-pair contraction inside the list algorithm.
 
         Parameters
@@ -104,6 +131,15 @@ class SimWorld:
             the load-imbalance model).
         largest_block_share:
             Fraction (0..1] of the total flops carried by the largest pair.
+        mapping:
+            Optional per-pair :class:`~repro.ctf.mapping.MappingDecision`
+            (see :func:`repro.ctf.plan_cost.pair_mapping_decisions`).  The
+            default (``None``, or any 2.5D/3D decision) keeps Table II's
+            communication-optimal pricing — ``O(size / p^{2/3})`` words and a
+            full refold of operands and output.  A ``"summa-2d"`` decision
+            prices the pair on a plain 2D grid instead: the output stays
+            stationary, so only the operand panels are broadcast
+            (``O((size_a + size_b) / p^{1/2})`` words) and refolded.
 
         Returns
         -------
@@ -115,9 +151,17 @@ class SimWorld:
         gemm = self.machine.gemm_seconds(flops, self.nodes, eff)
         self.profiler.add("gemm", gemm)
         self.profiler.add_flops(flops)
-        comm = self._charge_comm(
-            blockwise_contraction_comm(size_a, size_b, size_c, self.nprocs))
-        trans = self._charge_transpose(size_a + size_b + size_c)
+        if mapping is not None and mapping.algorithm == "summa-2d":
+            # 2D SUMMA keeps the output stationary: only the operand panels
+            # are broadcast (O(size / p^{1/2}) words) and refolded
+            comm = self._charge_comm(CommCost(
+                (size_a + size_b) / max(self.nprocs, 1) ** 0.5, 1.0))
+            trans = self._charge_transpose(size_a + size_b)
+        else:
+            comm = self._charge_comm(
+                blockwise_contraction_comm(size_a, size_b, size_c,
+                                           self.nprocs))
+            trans = self._charge_transpose(size_a + size_b + size_c)
         imb = gemm * load_imbalance_fraction(num_blocks, largest_block_share,
                                              self.nprocs)
         self.profiler.add("imbalance", imb)
@@ -158,7 +202,9 @@ class SimWorld:
 
     def charge_planned_contraction(self, plan, *,
                                    algorithm: str = "sparse-sparse",
-                                   operand_nnz: tuple | None = None) -> float:
+                                   operand_nnz: tuple | None = None,
+                                   operand_keys: tuple | None = None,
+                                   out_key: str | None = None) -> float:
         """Charge a contraction priced from its compiled plan.
 
         The plan (a :class:`~repro.symmetry.planner.ContractionPlan`) is
@@ -174,7 +220,10 @@ class SimWorld:
           larger.
         * ``algorithm="list"`` — one :meth:`charge_block_contraction` per
           planned pair, with the plan's own pair count and largest-pair share
-          driving the load-imbalance model.
+          driving the load-imbalance model, and each pair priced under its
+          :meth:`pair_decisions` mapping (2D-vs-3D grain-efficiency
+          crossover), exactly as the ``list`` backend charges in real
+          execution.
 
         A plan with no block pairs (structurally empty output) charges
         nothing — the plan-aware model knows no data needs to move.
@@ -194,6 +243,18 @@ class SimWorld:
             operand onto the contraction's processor grid is charged first —
             plan-aware volumes capped at the stored nnz, skipped entirely for
             a structurally empty plan.
+        operand_keys:
+            Optional ``(key_a, key_b)`` layout-tracker names of the operands
+            (see :mod:`repro.ctf.layout`).  Each named operand's remapping is
+            routed through :meth:`charge_layout_transition`, so it is charged
+            only when the contraction's preferred mapping differs from the
+            operand's current layout; ``None`` entries keep the unconditional
+            per-contraction charge.  Ignored without ``operand_nnz``.
+        out_key:
+            Optional layout-tracker name of the output tensor; its birth
+            layout (this contraction's preferred mapping) is recorded for
+            free so a later contraction preferring the same mapping can reuse
+            it in place.
 
         Returns
         -------
@@ -206,10 +267,15 @@ class SimWorld:
         seconds = 0.0
         if operand_nnz is not None:
             nnz_a, nnz_b = operand_nnz
-            seconds += self.charge_redistribution(nnz_a, plan=cost,
-                                                  operand="a")
-            seconds += self.charge_redistribution(nnz_b, plan=cost,
-                                                  operand="b")
+            key_a, key_b = operand_keys or (None, None)
+            seconds += self.charge_layout_transition(key_a, plan=cost,
+                                                     operand="a",
+                                                     elements=nnz_a)
+            seconds += self.charge_layout_transition(key_b, plan=cost,
+                                                     operand="b",
+                                                     elements=nnz_b)
+        if out_key is not None:
+            self.record_layout(out_key, plan=cost)
         if algorithm in ("sparse-sparse", "sparse-dense"):
             eff = parallel_gemm_efficiency(cost.total_flops, self.nprocs,
                                            grain_flops=5.0e5)
@@ -224,11 +290,12 @@ class SimWorld:
             trans = self._charge_transpose(cost.touched_words)
             return seconds + kernel + comm + trans
         if algorithm == "list":
-            for pair in cost.pairs:
+            for pair, decision in zip(cost.pairs, self.pair_decisions(cost)):
                 seconds += self.charge_block_contraction(
                     pair.flops, pair.words_a, pair.words_b, pair.words_c,
                     num_blocks=cost.npairs,
-                    largest_block_share=cost.largest_pair_share)
+                    largest_block_share=cost.largest_pair_share,
+                    mapping=decision)
             return seconds
         raise ValueError(f"unknown algorithm {algorithm!r}; expected "
                          "'sparse-sparse', 'sparse-dense' or 'list'")
@@ -295,6 +362,171 @@ class SimWorld:
             raise ValueError("charge_redistribution needs elements or a plan")
         comm = redistribution_comm(words, self.nprocs)
         return self._charge_comm(comm) + self._charge_transpose(words)
+
+    def charge_format_conversion(self, elements: float, *, phases: int = 2,
+                                 plan=None, operand: str = "out") -> float:
+        """A storage-format conversion (e.g. sparse tensor <-> list format).
+
+        The block-wise SVD of the single-tensor algorithms extracts the
+        blocks into a temporary list format and (for ``sparse-sparse``)
+        rebuilds the sparse tensor afterwards.  Each phase is an all-to-all
+        of the stored words, but the phases share one local repacking pass —
+        the elements are unpacked straight into their final placement — so
+        the conversion charges ``phases`` communication rounds and a single
+        transposition, strictly less than ``phases`` independent
+        :meth:`charge_redistribution` calls.
+
+        Parameters
+        ----------
+        elements:
+            Stored words (8-byte elements) of the converted tensor.
+        phases:
+            All-to-all rounds of the conversion (2 for extract + rebuild,
+            1 for extract only).
+        plan:
+            Optional plan (or lowered cost) of the contraction that produced
+            the tensor; caps the moved volume at the block-aligned
+            :func:`~repro.ctf.plan_cost.redistribution_words` of ``operand``,
+            so the conversion can never charge more than the planned layout
+            actually stores.
+        operand:
+            Which tensor of ``plan`` is converted (default ``"out"``).
+
+        Returns
+        -------
+        float
+            Modelled seconds charged to the profiler.
+        """
+        words = float(elements)
+        if plan is not None:
+            words = min(words, redistribution_words(plan, operand))
+        seconds = 0.0
+        for _ in range(max(int(phases), 1)):
+            seconds += self._charge_comm(
+                redistribution_comm(words, self.nprocs))
+        return seconds + self._charge_transpose(words)
+
+    # ------------------------------------------------------------------ #
+    # sweep-persistent layouts (see repro.ctf.layout)
+    # ------------------------------------------------------------------ #
+    def collective_model(self) -> CollectiveModel:
+        """The collective cost model of this machine/topology (memoized)."""
+        if self._collective_model is None:
+            self._collective_model = CollectiveModel.for_machine(
+                self.machine, self.nodes, self.procs_per_node)
+        return self._collective_model
+
+    def preferred_mapping(self, plan) -> MappingDecision:
+        """The mapping :func:`choose_plan_mapping` picks for ``plan`` here.
+
+        Memoized per lowered :class:`~repro.ctf.plan_cost.PlanCost` (plans
+        are cached and re-charged thousands of times), so the candidate
+        scoring runs once per distinct plan.
+        """
+        cost = as_plan_cost(plan)
+        return self._memo_per_cost(
+            self._preferred_mappings, cost,
+            lambda c: choose_plan_mapping(c, self.nprocs,
+                                          self.collective_model()))
+
+    def pair_decisions(self, plan) -> tuple:
+        """Per-block-pair mapping decisions of ``plan`` on this machine.
+
+        The :func:`~repro.ctf.plan_cost.pair_mapping_decisions` 2D-vs-3D
+        grain-efficiency crossover, memoized per lowered plan cost.  Shared
+        by the ``list`` backend and the modelled
+        :meth:`charge_planned_contraction` list path, so real execution and
+        shape-level simulation price the same pairs identically.
+        """
+        cost = as_plan_cost(plan)
+        return self._memo_per_cost(
+            self._pair_decisions, cost,
+            lambda c: pair_mapping_decisions(c, self.nprocs,
+                                             self.collective_model()))
+
+    def charge_layout_transition(self, operand_key: str | None, *,
+                                 plan=None, operand: str = "all",
+                                 elements: float | None = None,
+                                 mapping: MappingDecision | None = None
+                                 ) -> float:
+        """Redistribute an operand only if its next contraction remaps it.
+
+        This is the sweep-persistent refinement of
+        :meth:`charge_redistribution`: the operand named ``operand_key`` is
+        about to be contracted, and the contraction prefers ``mapping``
+        (computed from ``plan`` when not given).  The layout tracker decides
+        whether the operand actually moves:
+
+        * first touch — the tensor starts unmapped, the remapping is charged;
+        * unchanged mapping — the operand is already laid out as the
+          contraction wants it (environments reused across Davidson
+          iterations and sweep steps), nothing is charged;
+        * mapping change — a redistribution is charged, and the tracker
+          remembers the new layout.
+
+        With ``operand_key=None`` the operand is untracked and the charge
+        falls back to the unconditional per-contraction
+        :meth:`charge_redistribution` — so the tracked model can never charge
+        more than the tracker-off model for the same sequence of calls.
+
+        Parameters
+        ----------
+        operand_key:
+            Layout-tracker name of the operand (see
+            :mod:`repro.ctf.layout`), or ``None`` for untracked.
+        plan:
+            Plan (or lowered cost) of the upcoming contraction; provides both
+            the preferred mapping and the block-aligned redistribution volume.
+        operand:
+            Which tensor of ``plan`` this operand is (``"a"``, ``"b"``,
+            ``"out"`` or ``"all"``).
+        elements:
+            Optional aggregate word count capping the charged volume (the
+            operand's stored nnz).
+        mapping:
+            Explicit target mapping, overriding the plan-derived one.
+
+        Returns
+        -------
+        float
+            Modelled seconds charged (0.0 when the layout is reused).
+        """
+        if operand_key is None:
+            return self.charge_redistribution(elements, plan=plan,
+                                              operand=operand)
+        if mapping is None:
+            if plan is None:
+                raise ValueError("charge_layout_transition needs a plan or "
+                                 "an explicit mapping for tracked operands")
+            cost = as_plan_cost(plan)
+            if not cost.pairs:
+                return 0.0
+            mapping = self.preferred_mapping(cost)
+        layout = TensorLayout.from_decision(mapping)
+        if self.layout_tracker.observe(operand_key, layout):
+            return self.charge_redistribution(elements, plan=plan,
+                                              operand=operand)
+        return 0.0
+
+    def record_layout(self, out_key: str | None, *, plan=None,
+                      mapping: MappingDecision | None = None) -> None:
+        """Record a freshly produced tensor's birth layout (never charged).
+
+        The output of a contraction is created directly in the contraction's
+        preferred mapping; registering it lets a later contraction that
+        prefers the same mapping consume it for free.
+        """
+        if out_key is None:
+            return
+        if mapping is None:
+            if plan is None:
+                raise ValueError("record_layout needs a plan or a mapping")
+            cost = as_plan_cost(plan)
+            if not cost.pairs:
+                return
+            mapping = self.preferred_mapping(cost)
+        self.layout_tracker.record(out_key,
+                                   TensorLayout.from_decision(mapping))
 
     # ------------------------------------------------------------------ #
     # bookkeeping

@@ -21,6 +21,7 @@ from typing import List, Optional
 import numpy as np
 
 from ..backends.base import ContractionBackend, DirectBackend
+from ..ctf.layout import left_env_key, mpo_key, right_env_key, site_key
 from ..mps.mpo import MPO
 from ..mps.mps import MPS
 from ..symmetry import BlockSparseTensor
@@ -49,21 +50,51 @@ def right_edge_environment(state: MPS, operator: MPO) -> BlockSparseTensor:
 
 def extend_left(env: BlockSparseTensor, a: BlockSparseTensor,
                 w: BlockSparseTensor,
-                backend: ContractionBackend) -> BlockSparseTensor:
-    """Absorb site tensors into a left environment: ``L[j] -> L[j+1]``."""
-    tmp = backend.contract(env, a, axes=([2], [0]))        # (bra_l, w_l, p, r)
-    tmp = backend.contract(tmp, w, axes=([1, 2], [0, 2]))  # (bra_l, r, p', wr)
-    tmp = backend.contract(a.conj(), tmp, axes=([0, 1], [0, 2]))  # (bra_r, ket_r, wr)
+                backend: ContractionBackend, *,
+                site: int | None = None) -> BlockSparseTensor:
+    """Absorb site tensors into a left environment: ``L[j] -> L[j+1]``.
+
+    ``site`` (the position of ``a``/``w``) names the operands for the
+    sweep-persistent layout tracker: the old environment, the MPO tensor and
+    the freshly built environment keep their distributed layouts across
+    contractions, so only real mapping changes charge a redistribution.
+    """
+    ek = left_env_key(site) if site is not None else None
+    ok = left_env_key(site + 1) if site is not None else None
+    mk = mpo_key(site) if site is not None else None
+    sk = site_key(site) if site is not None else None
+    t1 = f"{ok}:partial1" if ok else None
+    t2 = f"{ok}:partial2" if ok else None
+    tmp = backend.contract(env, a, axes=([2], [0]),
+                           operand_keys=(ek, sk), out_key=t1)  # (bra_l, w_l, p, r)
+    tmp = backend.contract(tmp, w, axes=([1, 2], [0, 2]),
+                           operand_keys=(t1, mk), out_key=t2)  # (bra_l, r, p', wr)
+    tmp = backend.contract(a.conj(), tmp, axes=([0, 1], [0, 2]),
+                           operand_keys=(None, t2), out_key=ok)  # (bra_r, ket_r, wr)
     return tmp.transpose([0, 2, 1])                         # (bra_r, wr, ket_r)
 
 
 def extend_right(env: BlockSparseTensor, a: BlockSparseTensor,
                  w: BlockSparseTensor,
-                 backend: ContractionBackend) -> BlockSparseTensor:
-    """Absorb site tensors into a right environment: ``R[j] -> R[j-1]``."""
-    tmp = backend.contract(env, a, axes=([2], [2]))         # (bra_r, w_r, l, p)
-    tmp = backend.contract(tmp, w, axes=([1, 3], [3, 2]))   # (bra_r, l, wl, p')
-    tmp = backend.contract(a.conj(), tmp, axes=([2, 1], [0, 3]))  # (bra_l, ket_l, wl)
+                 backend: ContractionBackend, *,
+                 site: int | None = None) -> BlockSparseTensor:
+    """Absorb site tensors into a right environment: ``R[j] -> R[j-1]``.
+
+    ``site`` (the position of ``a``/``w``) names the operands for the
+    sweep-persistent layout tracker, as in :func:`extend_left`.
+    """
+    ek = right_env_key(site) if site is not None else None
+    ok = right_env_key(site - 1) if site is not None else None
+    mk = mpo_key(site) if site is not None else None
+    sk = site_key(site) if site is not None else None
+    t1 = f"{ok}:partial1" if ok else None
+    t2 = f"{ok}:partial2" if ok else None
+    tmp = backend.contract(env, a, axes=([2], [2]),
+                           operand_keys=(ek, sk), out_key=t1)  # (bra_r, w_r, l, p)
+    tmp = backend.contract(tmp, w, axes=([1, 3], [3, 2]),
+                           operand_keys=(t1, mk), out_key=t2)  # (bra_r, l, wl, p')
+    tmp = backend.contract(a.conj(), tmp, axes=([2, 1], [0, 3]),
+                           operand_keys=(None, t2), out_key=ok)  # (bra_l, ket_l, wl)
     return tmp.transpose([0, 2, 1])                          # (bra_l, wl, ket_l)
 
 
@@ -93,7 +124,7 @@ class EnvironmentCache:
             prev = self.left(j - 1)
             self._left[j] = extend_left(prev, self.state.tensors[j - 1],
                                         self.operator.tensors[j - 1],
-                                        self.backend)
+                                        self.backend, site=j - 1)
         return self._left[j]
 
     def right(self, j: int) -> BlockSparseTensor:
@@ -102,7 +133,7 @@ class EnvironmentCache:
             nxt = self.right(j + 1)
             self._right[j] = extend_right(nxt, self.state.tensors[j + 1],
                                           self.operator.tensors[j + 1],
-                                          self.backend)
+                                          self.backend, site=j + 1)
         return self._right[j]
 
     def invalidate_all(self) -> None:

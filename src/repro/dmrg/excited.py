@@ -36,6 +36,7 @@ from ..symmetry.charges import zero_charge
 from .config import (DMRGConfig, DMRGResult, PlanStatsRecorder, SweepRecord,
                      Sweeps)
 from .davidson import davidson
+from ..ctf.layout import davidson_key, site_key
 from .environments import EnvironmentCache, extend_left, extend_right
 from .sweep import EffectiveHamiltonian, two_site_tensor
 
@@ -193,7 +194,8 @@ def excited_dmrg(operator: MPO, psi0: MPS, previous: Sequence[MPS],
             left = envs.left(j)
             right = envs.right(j + 1)
             heff = EffectiveHamiltonian(left, operator.tensors[j],
-                                        operator.tensors[j + 1], right, backend)
+                                        operator.tensors[j + 1], right,
+                                        backend, site=j)
             projections = [oc.projected_two_site(j) for oc in overlaps]
             penalized = PenalizedHamiltonian(heff, projections, weight)
 
@@ -213,10 +215,16 @@ def excited_dmrg(operator: MPO, psi0: MPS, previous: Sequence[MPS],
             psi.tensors[j] = u
             psi.tensors[j + 1] = vh
             psi.center = j + 1 if direction == "right" else j
+            # the SVD rewrote the site tensors (and consumed the Davidson
+            # tensor) outside the cost model's view: drop their tracked
+            # layouts so the next contraction charges a remapping again
+            backend.invalidate_layouts(site_key(j), site_key(j + 1),
+                                       davidson_key(j))
 
             if direction == "right":
                 envs.set_left(j + 1, extend_left(left, psi.tensors[j],
-                                                 operator.tensors[j], backend))
+                                                 operator.tensors[j], backend,
+                                                 site=j))
                 envs.invalidate_from(j + 1)
                 for oc, phi in zip(overlaps, previous):
                     t = oc.left(j).contract(phi.tensors[j], axes=([1], [0]))
@@ -225,7 +233,8 @@ def excited_dmrg(operator: MPO, psi0: MPS, previous: Sequence[MPS],
                     oc.invalidate_from(j + 1)
             else:
                 envs.set_right(j, extend_right(right, psi.tensors[j + 1],
-                                               operator.tensors[j + 1], backend))
+                                               operator.tensors[j + 1], backend,
+                                               site=j + 1))
                 envs.invalidate_from(j)
                 for oc, phi in zip(overlaps, previous):
                     t = oc.right(j + 1).contract(phi.tensors[j + 1],

@@ -23,6 +23,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..backends.base import ContractionBackend, DirectBackend
+from ..ctf.layout import site_key
 from ..mps.algebra import _direct_sum_index
 from ..mps.mpo import MPO
 from ..mps.mps import MPS
@@ -203,9 +204,13 @@ def single_site_dmrg(operator: MPO, psi0: MPS, config: DMRGConfig, *,
                 psi.tensors[j + 1] = vh.contract(psi.tensors[j + 1],
                                                  axes=([1], [0]))
                 psi.center = j + 1
+                # both site tensors were rewritten outside the cost model;
+                # their tracked layouts are stale
+                backend.invalidate_layouts(site_key(j), site_key(j + 1))
                 from .environments import extend_left
                 envs.set_left(j + 1, extend_left(left, psi.tensors[j],
-                                                 operator.tensors[j], backend))
+                                                 operator.tensors[j], backend,
+                                                 site=j))
                 envs.invalidate_from(j + 1)
             else:
                 if alpha > 0.0:
@@ -225,9 +230,13 @@ def single_site_dmrg(operator: MPO, psi0: MPS, config: DMRGConfig, *,
                 psi.tensors[j - 1] = psi.tensors[j - 1].contract(
                     vh.transpose([1, 0]), axes=([2], [0]))
                 psi.center = j - 1
+                # both site tensors were rewritten outside the cost model;
+                # their tracked layouts are stale
+                backend.invalidate_layouts(site_key(j), site_key(j - 1))
                 from .environments import extend_right
                 envs.set_right(j - 1, extend_right(right, psi.tensors[j],
-                                                   operator.tensors[j], backend))
+                                                   operator.tensors[j], backend,
+                                                   site=j))
                 envs.invalidate_from(j - 1)
             backend.synchronize()
 

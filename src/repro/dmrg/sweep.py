@@ -16,6 +16,7 @@ from typing import Optional
 import numpy as np
 
 from ..backends.base import ContractionBackend, DirectBackend
+from ..ctf.layout import davidson_key, heff_operand_keys, site_key
 from ..mps.mpo import MPO
 from ..mps.mps import MPS
 from ..perf import flops as flopcount
@@ -28,21 +29,39 @@ from .environments import EnvironmentCache, extend_left, extend_right
 
 @dataclass
 class EffectiveHamiltonian:
-    """The projected two-site Hamiltonian, applied implicitly (Fig. 1d)."""
+    """The projected two-site Hamiltonian, applied implicitly (Fig. 1d).
+
+    ``site`` (the left site of the optimized bond) names the environments,
+    MPO tensors, wavefunction and intermediates for the sweep-persistent
+    layout tracker (:mod:`repro.ctf.layout`): repeated Davidson matvecs reuse
+    the operands' distributed layouts, so only the first application — or a
+    genuine mapping change — charges a redistribution.
+    """
 
     left_env: BlockSparseTensor
     w1: BlockSparseTensor
     w2: BlockSparseTensor
     right_env: BlockSparseTensor
     backend: ContractionBackend
+    site: Optional[int] = None
 
     def apply(self, x: BlockSparseTensor) -> BlockSparseTensor:
         """Apply ``K`` to a two-site tensor ``x`` with modes (l, p1, p2, r)."""
         c = self.backend.contract
-        t = c(self.left_env, x, axes=([2], [0]))       # (bl, wl, p1, p2, r)
-        t = c(t, self.w1, axes=([1, 2], [0, 2]))       # (bl, p2, r, p1', w1r)
-        t = c(t, self.w2, axes=([4, 1], [0, 2]))       # (bl, r, p1', p2', w2r)
-        t = c(t, self.right_env, axes=([1, 4], [2, 1]))  # (bl, p1', p2', br)
+        if self.site is not None:
+            lk, w1k, w2k, rk, xk = heff_operand_keys(self.site)
+            hk = [f"{xk}:h{i}" for i in range(4)]
+        else:
+            lk = w1k = w2k = rk = xk = None
+            hk = [None] * 4
+        t = c(self.left_env, x, axes=([2], [0]),
+              operand_keys=(lk, xk), out_key=hk[0])   # (bl, wl, p1, p2, r)
+        t = c(t, self.w1, axes=([1, 2], [0, 2]),
+              operand_keys=(hk[0], w1k), out_key=hk[1])  # (bl, p2, r, p1', w1r)
+        t = c(t, self.w2, axes=([4, 1], [0, 2]),
+              operand_keys=(hk[1], w2k), out_key=hk[2])  # (bl, r, p1', p2', w2r)
+        t = c(t, self.right_env, axes=([1, 4], [2, 1]),
+              operand_keys=(hk[2], rk), out_key=hk[3])   # (bl, p1', p2', br)
         return t
 
     def __call__(self, x: BlockSparseTensor) -> BlockSparseTensor:
@@ -55,7 +74,9 @@ def two_site_tensor(state: MPS, j: int,
     """Contract sites ``j`` and ``j+1`` into the order-4 optimization tensor."""
     backend = backend if backend is not None else DirectBackend()
     return backend.contract(state.tensors[j], state.tensors[j + 1],
-                            axes=([2], [0]))
+                            axes=([2], [0]),
+                            operand_keys=(site_key(j), site_key(j + 1)),
+                            out_key=davidson_key(j))
 
 
 def dmrg(operator: MPO, psi0: MPS, config: DMRGConfig, *,
@@ -125,7 +146,7 @@ def dmrg(operator: MPO, psi0: MPS, config: DMRGConfig, *,
                 right = envs.right(j + 1)
                 heff = EffectiveHamiltonian(left, operator.tensors[j],
                                             operator.tensors[j + 1], right,
-                                            backend)
+                                            backend, site=j)
                 x0 = two_site_tensor(psi, j, backend)
                 dav = davidson(heff, x0, max_iterations=dav_iters,
                                max_subspace=config.davidson_max_subspace,
@@ -140,18 +161,24 @@ def dmrg(operator: MPO, psi0: MPS, config: DMRGConfig, *,
                 psi.tensors[j] = u
                 psi.tensors[j + 1] = vh
                 psi.center = j + 1 if direction == "right" else j
+                # the SVD rewrote both site tensors (and consumed the
+                # Davidson tensor) outside the cost model's view: their
+                # tracked layouts are stale, so the next contraction that
+                # touches them must charge a remapping again
+                backend.invalidate_layouts(site_key(j), site_key(j + 1),
+                                           davidson_key(j))
 
                 # extend the environment in the direction of motion and drop
                 # caches that are now stale
                 if direction == "right":
                     envs.set_left(j + 1, extend_left(left, psi.tensors[j],
                                                      operator.tensors[j],
-                                                     backend))
+                                                     backend, site=j))
                     envs.invalidate_from(j + 1)
                 else:
                     envs.set_right(j, extend_right(right, psi.tensors[j + 1],
                                                    operator.tensors[j + 1],
-                                                   backend))
+                                                   backend, site=j + 1))
                     envs.invalidate_from(j)
                 backend.synchronize()
 

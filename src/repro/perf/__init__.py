@@ -34,6 +34,7 @@ _LAZY = {
     "cost_time_points": "scaling",
     "headline_speedups": "scaling",
     "itensor_reference": "scaling",
+    "layout_tracker_comparison": "scaling",
     "model_dmrg_step": "scaling",
     "model_sweep": "scaling",
     "plan_aware_comparison": "scaling",
@@ -45,11 +46,15 @@ _LAZY = {
     "time_breakdown": "scaling",
     "weak_scaling": "scaling",
     "format_breakdown": "report",
+    "format_layout_comparison": "report",
+    "format_layout_tracker": "report",
     "format_plan_cache": "report",
     "format_series": "report",
     "format_table": "report",
     "format_table1": "report",
+    "format_layout_check": "plan_bench",
     "format_plan_cache_benchmark": "plan_bench",
+    "run_layout_check": "plan_bench",
     "run_plan_cache_benchmark": "plan_bench",
     "format_plan_cost_check": "plan_bench",
     "run_plan_cost_check": "plan_bench",

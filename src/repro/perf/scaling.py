@@ -14,6 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Sequence, Tuple
 
+from ..ctf.layout import (davidson_key, heff_operand_keys, left_env_key,
+                          site_key)
 from ..ctf.machine import MachineSpec
 from ..ctf.profiler import Profiler
 from ..ctf.world import SimWorld
@@ -45,6 +47,11 @@ class StepCost:
     davidson_memory: float
     environment_memory: float
     plan_aware: bool = False
+    track_layout: bool = False
+    #: layout-tracker moves this step charged (first touches + transitions)
+    layout_moves: int = 0
+    #: operand touches this step served from an unchanged layout (free)
+    layout_reuses: int = 0
 
     @property
     def gflops_rate(self) -> float:
@@ -130,48 +137,91 @@ def site_shapes(system: BenchmarkSystem, m: int, site: int | None = None
 def model_dmrg_step(system: BenchmarkSystem, m: int, world: SimWorld,
                     algorithm: str, *, site: int | None = None,
                     davidson_matvecs: int = DAVIDSON_MATVECS,
-                    plan_aware: bool = False) -> StepCost:
+                    plan_aware: bool = False,
+                    track_layout: bool = False) -> StepCost:
     """Model one two-site optimization (Davidson + SVD + environment update).
 
     With ``plan_aware=True`` every contraction is priced from its compiled
     block-pair plan (:meth:`SimWorld.charge_planned_contraction`) instead of
     aggregate element counts; see :mod:`repro.ctf.plan_cost`.
+
+    With ``track_layout=True`` (requires ``plan_aware``) the environments,
+    MPO tensors, wavefunction and intermediates are named with the canonical
+    :mod:`repro.ctf.layout` keys, so the world's sweep-persistent layout
+    tracker charges their remapping only on real mapping changes — repeated
+    Davidson matvecs and consecutive steps on one ``world`` reuse layouts for
+    free, exactly as the DMRG sweep driver does in real execution.
     """
     if site is None:
         site = system.middle_site()
+    if track_layout and not plan_aware:
+        raise ValueError("track_layout requires plan_aware=True")
     lenv, w1, w2, renv, x, a1 = _site_shapes(system, m, site)
+
+    if track_layout:
+        lk, w1k, w2k, rk, xk = heff_operand_keys(site)
+        hk = [f"{xk}:h{i}" for i in range(4)]
+        a1k, a2k = site_key(site), site_key(site + 1)
+        ek = [f"{left_env_key(site + 1)}:partial1",
+              f"{left_env_key(site + 1)}:partial2"]
+    else:
+        lk = w1k = w2k = rk = xk = a1k = a2k = None
+        hk = [None] * 4
+        ek = [None] * 2
+    tracker0 = world.layout_tracker.snapshot()
 
     before = world.profiler.as_dict()
     useful = 0.0
+    # two-site tensor build (Fig. 1c): contract the two site tensors, as
+    # two_site_tensor does in the real sweep — in tracked mode this is the
+    # birth of the Davidson wavefunction's layout
+    a2 = ShapeTensor((a1.indices[2].dual(), x.indices[2], x.indices[3]))
+    t, f = charge_contraction(world, algorithm, a1, a2, ([2], [0]),
+                              plan_aware=plan_aware,
+                              operand_keys=(a1k, a2k), out_key=xk)
+    useful += f
     # Davidson: matrix-vector products through the environments (Fig. 1d)
     for _ in range(max(davidson_matvecs, 1)):
         t, f = charge_contraction(world, algorithm, lenv, x, ([2], [0]),
-                               plan_aware=plan_aware)
+                               plan_aware=plan_aware,
+                               operand_keys=(lk, xk), out_key=hk[0])
         useful += f
         t, f = charge_contraction(world, algorithm, t, w1, ([1, 2], [0, 2]),
-                               plan_aware=plan_aware)
+                               plan_aware=plan_aware,
+                               operand_keys=(hk[0], w1k), out_key=hk[1])
         useful += f
         t, f = charge_contraction(world, algorithm, t, w2, ([4, 1], [0, 2]),
-                               plan_aware=plan_aware)
+                               plan_aware=plan_aware,
+                               operand_keys=(hk[1], w2k), out_key=hk[2])
         useful += f
         t, f = charge_contraction(world, algorithm, t, renv, ([1, 4], [2, 1]),
-                               plan_aware=plan_aware)
+                               plan_aware=plan_aware,
+                               operand_keys=(hk[2], rk), out_key=hk[3])
         useful += f
-    # SVD split of the optimized two-site tensor (always block-wise)
+    # SVD split of the optimized two-site tensor (always block-wise); the
+    # split rewrites the site tensors, so their tracked layouts are stale
     useful += charge_svd(world, algorithm, x, [0, 1])
+    if track_layout:
+        world.layout_tracker.invalidate(xk, a1k, site_key(site + 1))
     # environment extension to the next center
     t, f = charge_contraction(world, algorithm, lenv, a1, ([2], [0]),
-                               plan_aware=plan_aware)
+                               plan_aware=plan_aware,
+                               operand_keys=(lk, a1k), out_key=ek[0])
     useful += f
     t, f = charge_contraction(world, algorithm, t, w1, ([1, 2], [0, 2]),
-                               plan_aware=plan_aware)
+                               plan_aware=plan_aware,
+                               operand_keys=(ek[0], w1k), out_key=ek[1])
     useful += f
     # closing contraction with the conjugated site tensor
     conj_a1 = ShapeTensor(tuple(ix.dual() for ix in a1.indices))
     t, f = charge_contraction(world, algorithm, conj_a1, t, ([0, 1], [0, 2]),
-                               plan_aware=plan_aware)
+                               plan_aware=plan_aware,
+                               operand_keys=(None, ek[1]),
+                               out_key=(left_env_key(site + 1)
+                                        if track_layout else None))
     useful += f
     after = world.profiler.as_dict()
+    tracker1 = world.layout_tracker.snapshot()
 
     breakdown = {k: after[k] - before[k]
                  for k in ("gemm", "communication", "transposition", "svd",
@@ -189,7 +239,10 @@ def model_dmrg_step(system: BenchmarkSystem, m: int, world: SimWorld,
                     breakdown, after["comm_words"] - before["comm_words"],
                     after["supersteps"] - before["supersteps"],
                     davidson_memory, environment_memory,
-                    plan_aware=plan_aware)
+                    plan_aware=plan_aware, track_layout=track_layout,
+                    layout_moves=(tracker1["charged_moves"]
+                                  - tracker0["charged_moves"]),
+                    layout_reuses=(tracker1["reuses"] - tracker0["reuses"]))
 
 
 def itensor_reference(system: BenchmarkSystem, m: int, machine: MachineSpec,
@@ -219,12 +272,19 @@ def itensor_reference(system: BenchmarkSystem, m: int, machine: MachineSpec,
 
 def model_sweep(system: BenchmarkSystem, m: int, world: SimWorld,
                 algorithm: str, *, sites: Iterable[int] | None = None,
-                plan_aware: bool = False) -> List[StepCost]:
-    """Model a (half-)sweep over the given sites (default: all of them)."""
+                plan_aware: bool = False,
+                track_layout: bool = False) -> List[StepCost]:
+    """Model a (half-)sweep over the given sites (default: all of them).
+
+    With ``track_layout=True`` the steps share the ``world``'s layout
+    tracker, so environments and MPO tensors carried from one step to the
+    next keep their distributed layouts — the sweep-persistent behaviour the
+    paper's Fig. 7 transposition share reflects.
+    """
     if sites is None:
         sites = range(system.nsites - 1)
     return [model_dmrg_step(system, m, world, algorithm, site=s,
-                            plan_aware=plan_aware)
+                            plan_aware=plan_aware, track_layout=track_layout)
             for s in sites]
 
 
@@ -291,12 +351,78 @@ def column_times(system: BenchmarkSystem, m: int, machine: MachineSpec,
 def time_breakdown(system: BenchmarkSystem, m: int, machine: MachineSpec,
                    nodes: int, algorithm: str,
                    procs_per_node: int = 16,
-                   plan_aware: bool = False) -> Dict[str, float]:
-    """Fig. 7: percentage of modelled time per category."""
+                   plan_aware: bool = False,
+                   track_layout: bool = False) -> Dict[str, float]:
+    """Fig. 7: percentage of modelled time per category.
+
+    ``track_layout=True`` (plan-aware mode only) prices redistribution with
+    the sweep-persistent layout tracker, shrinking the "CTF transposition"
+    share toward the paper's proportions.
+    """
     world = SimWorld(nodes=nodes, procs_per_node=procs_per_node,
                      machine=machine)
-    model_dmrg_step(system, m, world, algorithm, plan_aware=plan_aware)
+    model_dmrg_step(system, m, world, algorithm, plan_aware=plan_aware,
+                    track_layout=track_layout)
     return world.profiler.breakdown()
+
+
+def layout_tracker_comparison(system: BenchmarkSystem, m: int,
+                              machine: MachineSpec, nodes: int,
+                              algorithm: str = "sparse-sparse",
+                              procs_per_node: int = 16,
+                              sites: Sequence[int] | None = None,
+                              davidson_matvecs: int = DAVIDSON_MATVECS
+                              ) -> Dict[str, object]:
+    """Consecutive DMRG steps with and without the layout tracker.
+
+    Models the same plan-aware step sequence twice — once pricing every
+    contraction in isolation (tracker off: both operands remap every time)
+    and once with the sweep-persistent layout tracker (tracker on:
+    environments, MPO tensors and the Davidson wavefunction keep their
+    layouts across matvecs and steps).  This is the quantity behind the
+    Fig. 7 "CTF transposition" slice: the tracker can only *remove*
+    redistribution charges, so the tracked total is never above the
+    per-contraction model and the transposition share shrinks toward the
+    paper's proportions.
+
+    Returns a dict with both second totals, both percentage breakdowns, the
+    transposition shares, the modelled seconds saved and the tracker's
+    counter snapshot.
+    """
+    if sites is None:
+        mid = system.middle_site()
+        sites = [s for s in (mid, mid + 1) if s <= system.nsites - 2] or [mid]
+    w_off = SimWorld(nodes=nodes, procs_per_node=procs_per_node,
+                     machine=machine)
+    steps_off = [model_dmrg_step(system, m, w_off, algorithm, site=s,
+                                 davidson_matvecs=davidson_matvecs,
+                                 plan_aware=True)
+                 for s in sites]
+    w_on = SimWorld(nodes=nodes, procs_per_node=procs_per_node,
+                    machine=machine)
+    steps_on = [model_dmrg_step(system, m, w_on, algorithm, site=s,
+                                davidson_matvecs=davidson_matvecs,
+                                plan_aware=True, track_layout=True)
+                for s in sites]
+    off_bd = w_off.profiler.breakdown()
+    on_bd = w_on.profiler.breakdown()
+    off_seconds = w_off.modelled_seconds()
+    on_seconds = w_on.modelled_seconds()
+    return {
+        "system": system.name, "algorithm": algorithm, "m": m,
+        "nodes": nodes, "sites": list(sites),
+        "tracker_off_seconds": off_seconds,
+        "tracker_on_seconds": on_seconds,
+        "seconds_saved": off_seconds - on_seconds,
+        "tracker_off_breakdown": off_bd,
+        "tracker_on_breakdown": on_bd,
+        "transposition_share_off": off_bd["transposition"],
+        "transposition_share_on": on_bd["transposition"],
+        "layout_moves": sum(s.layout_moves for s in steps_on),
+        "layout_reuses": sum(s.layout_reuses for s in steps_on),
+        "tracker": w_on.layout_tracker.snapshot(),
+        "steps_off": steps_off, "steps_on": steps_on,
+    }
 
 
 def weak_scaling(system: BenchmarkSystem, machine: MachineSpec, algorithm: str,

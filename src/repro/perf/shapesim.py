@@ -195,7 +195,9 @@ def _plan_output(plan: ContractionPlan, nsym: int) -> ShapeTensor:
 
 def charge_contraction(world: SimWorld, algorithm: str, a: ShapeTensor,
                        b: ShapeTensor, axes, *,
-                       plan_aware: bool = False) -> Tuple[ShapeTensor, float]:
+                       plan_aware: bool = False,
+                       operand_keys: Tuple[str | None, str | None] | None = None,
+                       out_key: str | None = None) -> Tuple[ShapeTensor, float]:
     """Contract shape tensors and charge the cost model per algorithm.
 
     With ``plan_aware=True`` the ``list`` and ``sparse-sparse`` algorithms are
@@ -209,7 +211,11 @@ def charge_contraction(world: SimWorld, algorithm: str, a: ShapeTensor,
     operand onto the contraction's processor grid — aggregate nnz in the
     aggregate model, the plan's block-aligned volume in plan-aware mode —
     matching what :class:`repro.backends.sparse_sparse.SparseSparseBackend`
-    charges during real execution.
+    charges during real execution.  In plan-aware mode the optional
+    ``operand_keys``/``out_key`` layout-tracker names (see
+    :mod:`repro.ctf.layout`) make those remappings sweep-persistent: a named
+    operand pays only when the contraction's preferred mapping differs from
+    its tracked layout, exactly as in real execution.
 
     Returns the output shape tensor and the total flops of the contraction.
     """
@@ -217,7 +223,9 @@ def charge_contraction(world: SimWorld, algorithm: str, a: ShapeTensor,
         plan = plan_shape_contraction(a, b, axes)
         operand_nnz = (a.nnz, b.nnz) if algorithm == "sparse-sparse" else None
         world.charge_planned_contraction(plan, algorithm=algorithm,
-                                         operand_nnz=operand_nnz)
+                                         operand_nnz=operand_nnz,
+                                         operand_keys=operand_keys,
+                                         out_key=out_key)
         return _plan_output(plan, a.nsym), plan.total_flops
     out, stats = a.contract(b, axes)
     total_flops = float(sum(s.flops for s in stats))

@@ -4,7 +4,8 @@
 #   make test         - tier-1 test suite (pytest, stops at first failure)
 #   make doccheck     - docstring-presence gate over the public ctf/ surface
 #   make bench-smoke  - measured benchmarks at tiny sizes + plan-aware
-#                       cost-model invariants (python -m repro bench --smoke)
+#                       cost-model invariants (python -m repro bench --smoke);
+#                       emits the machine-readable BENCH_smoke.json artifact
 #   make bench        - regenerate the paper-figure benchmark tables
 
 PYTHON ?= python
@@ -21,7 +22,7 @@ doccheck:
 	$(PYTHON) tools/check_docstrings.py src/repro/ctf
 
 bench-smoke:
-	$(PYTHON) -m repro bench --smoke
+	$(PYTHON) -m repro bench --smoke --json BENCH_smoke.json
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ -q --benchmark-only

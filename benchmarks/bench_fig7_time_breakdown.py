@@ -82,6 +82,31 @@ def test_fig7c_layout_tracker_shrinks_transposition(benchmark, spins_full,
         assert r["layout_reuses"] > 0
 
 
+def test_fig7c_full_sweep_transposition_share(benchmark, spins_small):
+    """Full-sweep tracker comparison: every bond of a half sweep in sequence.
+
+    The two-site default of :func:`layout_tracker_comparison` already shows
+    the effect; sweeping *all* consecutive bonds lets every environment and
+    MPO tensor be revisited with a warm layout, so the transposition share
+    keeps shrinking and the reuse count dwarfs the charged moves — the
+    full-sweep quantity the paper's Fig. 7 slice actually reports."""
+    nbonds = spins_small.nsites - 1
+    def run():
+        return layout_tracker_comparison(spins_small, 512, BLUE_WATERS, 16,
+                                         "sparse-sparse",
+                                         sites=range(nbonds))
+    result = run_once(benchmark, run)
+    save_result("fig7c_full_sweep_breakdown",
+                format_layout_comparison(
+                    result, title="Layout tracker on vs off (full sweep)"))
+    assert len(result["sites"]) == nbonds
+    assert result["transposition_share_on"] < result["transposition_share_off"]
+    assert result["tracker_on_seconds"] <= result["tracker_off_seconds"]
+    # across a whole sweep the persistent layouts are reused far more often
+    # than they are (re)mapped
+    assert result["layout_reuses"] > result["layout_moves"]
+
+
 def test_fig7b_sparse_mkl_share_grows_with_m(benchmark, electrons_full):
     """Paper: sparse MKL calls grow from ~14% (m=4096) to ~52% (m=32768) of
     the sparse-sparse time on Stampede2."""

@@ -1,0 +1,52 @@
+"""Compiled Davidson matvec vs the PR-1 planned per-contraction path.
+
+The matvec compiler (:mod:`repro.symmetry.matvec`) hoists every
+x-independent cost of ``EffectiveHamiltonian.apply`` out of the Davidson
+inner loop: static operands are matricized once per bond, inter-stage
+gather/permute maps are precomputed, and all scratch lives in a reusable
+workspace arena written with ``np.matmul(..., out=)``.  This benchmark
+asserts the contract: at the measured sizes the compiled matvec is at least
+1.5x faster than the planned per-contraction path, DMRG energies agree to
+1e-10, and the plan-cache statistics are unchanged (the compiled path
+accounts its cached plans exactly like the lookups it replaces).
+"""
+
+from conftest import run_once, save_result
+
+from repro.perf.matvec_bench import (format_matvec_benchmark,
+                                     run_matvec_compile_benchmark,
+                                     run_matvec_layout_check)
+
+
+def test_matvec_compile_speedup(benchmark):
+    stats = run_once(benchmark, run_matvec_compile_benchmark,
+                     nsites=32, maxdim=64, repeats=40)
+    save_result("matvec_compile", format_matvec_benchmark(stats))
+    # the compiled pipeline reproduces the planned path's numerics
+    assert stats["matvec_delta_norm"] < 1e-10
+    assert stats["dmrg_energy_delta"] < 1e-10
+    # plan-cache hit rates are unchanged: the program accounts its cached
+    # plans exactly like the chained lookups it replaces
+    assert stats["plan_stats_equal"]
+    # the acceptance bar: >= 1.5x over the per-contraction planned path
+    assert stats["speedup"] >= 1.5
+    # steady state reuses arena buffers instead of allocating
+    assert stats["arena_reuses"] > 0
+
+
+def test_matvec_compile_smoke(benchmark):
+    """Tiny-size smoke run (the `python -m repro bench` configuration)."""
+    stats = run_once(benchmark, run_matvec_compile_benchmark,
+                     nsites=12, maxdim=16, repeats=5,
+                     dmrg_nsites=8, dmrg_maxdim=16, dmrg_nsweeps=3)
+    assert stats["dmrg_energy_delta"] < 1e-10
+    assert stats["plan_stats_equal"]
+
+
+def test_matvec_compile_layout_tracker_unchanged(benchmark):
+    """The compiled path replays the identical cost-model charging sequence."""
+    stats = run_once(benchmark, run_matvec_layout_check,
+                     nsites=8, maxdim=16, nsweeps=3)
+    assert stats["tracker_equal"]
+    assert stats["modelled_seconds_delta"] < 1e-12
+    assert stats["energy_delta"] < 1e-10

@@ -12,36 +12,30 @@ import numpy as np
 import pytest
 
 from repro.backends import DirectBackend
-from repro.dmrg import (EffectiveHamiltonian, EnvironmentCache, davidson,
-                        two_site_tensor)
-from repro.models import heisenberg_chain_model, hubbard_chain_model
+from repro.dmrg import EffectiveHamiltonian, EnvironmentCache, davidson
+from repro.models import heisenberg_chain_model
 from repro.mps import MPS, build_mpo
+from repro.perf.matvec_bench import heff_setup
 from repro.symmetry import BlockSparseTensor, Index, svd
 
 
 def _dmrg_setup(model, n, maxdim):
-    lat, sites, opsum, config = model(n)
-    mpo = build_mpo(opsum, sites)
-    psi = MPS.random(sites, total_charge=sites.total_charge(config),
-                     bond_dim=maxdim, rng=np.random.default_rng(7))
-    psi.canonicalize(n // 2)
-    envs = EnvironmentCache(psi, mpo)
-    j = n // 2
-    heff = EffectiveHamiltonian(envs.left(j), mpo.tensors[j],
-                                mpo.tensors[j + 1], envs.right(j + 1),
-                                DirectBackend())
-    x = two_site_tensor(psi, j)
+    *ops, x = heff_setup(n, maxdim, model=model)
+    # these benchmarks track the per-contraction planned path (the compiled
+    # pipeline has its own harness, bench_matvec_compile.py) — pin the
+    # compile flag so the series stays comparable across commits
+    heff = EffectiveHamiltonian(*ops, DirectBackend(), compile=False)
     return heff, x
 
 
 @pytest.fixture(scope="module")
 def spin_heff():
-    return _dmrg_setup(lambda n: heisenberg_chain_model(n), 32, 64)
+    return _dmrg_setup("heisenberg", 32, 64)
 
 
 @pytest.fixture(scope="module")
 def electron_heff():
-    return _dmrg_setup(lambda n: hubbard_chain_model(n), 16, 64)
+    return _dmrg_setup("hubbard", 16, 64)
 
 
 def test_block_contraction_throughput(benchmark):

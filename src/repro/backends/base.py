@@ -33,6 +33,7 @@ from typing import Optional, Sequence
 from ..symmetry import BlockSparseTensor
 from ..symmetry import linalg as blocklinalg
 from ..symmetry.engine import contract_planned
+from ..symmetry.matvec import MatvecCounters, StageCharge, WorkspaceArena
 from ..symmetry.planner import PlanCache
 
 
@@ -50,6 +51,12 @@ class ContractionBackend(ABC):
         # single-tensor algorithms use it to bound the format-conversion
         # volume of a subsequent SVD at the planned (block-aligned) layout
         self._last_plan = None
+        #: pooled scratch buffers shared by every compiled matvec program of
+        #: this backend (see :class:`repro.symmetry.matvec.WorkspaceArena`);
+        #: consecutive bond steps recycle each other's panels and stacks
+        self.workspace_arena = WorkspaceArena()
+        #: compiled-matvec lifecycle counters (compiles / applies / releases)
+        self.matvec_counters = MatvecCounters()
 
     @abstractmethod
     def contract(self, a: BlockSparseTensor, b: BlockSparseTensor,
@@ -81,6 +88,30 @@ class ContractionBackend(ABC):
                 tuple(plan.out_flux) == tuple(t.flux):
             return plan
         return None
+
+    def supports_compiled_matvec(self) -> bool:
+        """Whether the compiled-matvec fast path may serve this backend.
+
+        Requires a plan cache (the compiler lowers cached plans).  Backends
+        whose ``contract`` can bypass the planner (e.g. the sparse-sparse
+        backend's real-sparse execution mode) override this to refuse, so the
+        compiled path never diverges from what ``contract`` would do.
+        """
+        return self.plan_cache is not None
+
+    def charge_compiled_stage(self, stage: StageCharge) -> None:
+        """Cost-model charge of one compiled-matvec stage.
+
+        Called by :meth:`repro.symmetry.matvec.MatvecProgram.execute` once per
+        stage, in chain order, with the same plan and operand statistics the
+        chained :meth:`contract` call would have derived from the live
+        tensors.  Backends with a simulated world override this to reproduce
+        their ``contract`` charges exactly (same plans, flop counts and
+        ``operand_keys``/``out_key`` layout-tracker traffic); the base
+        implementation only remembers the plan so a subsequent SVD can cap
+        its format-conversion volume, exactly as ``contract`` does.
+        """
+        self._last_plan = stage.plan
 
     def invalidate_layouts(self, *keys: str) -> None:
         """Forget tracked layouts of operands rewritten outside the model.

@@ -11,15 +11,19 @@ Two subcommands cover the everyday workflows:
     block-sparsity backends mapped to a simulated machine, measure the
     requested observables, and print/save a report.
 
-``python -m repro bench --smoke``
+``python -m repro bench --smoke [--json BENCH_smoke.json]``
     Benchmark smoke target: exercise the measured benchmarks — the
-    plan-cache/fused-GEMM comparison and the micro-kernel suite — at tiny
-    sizes, and assert the modelled-cost invariants: the plan-aware model's
-    (equal to the aggregate model on a dense block, never worse on
-    block-sparse structure, ``plan-cost`` target) and the sweep-persistent
-    layout tracker's (first touch charges, unchanged layouts free, tracked
-    total never worse, transposition share strictly shrinks, ``layout``
-    target), so the perf code cannot silently rot.
+    plan-cache/fused-GEMM comparison, the compiled-matvec comparison
+    (``matvec`` target) and the micro-kernel suite — at tiny sizes, and
+    assert the modelled-cost invariants: the plan-aware model's (equal to
+    the aggregate model on a dense block, never worse on block-sparse
+    structure, ``plan-cost`` target) and the sweep-persistent layout
+    tracker's (first touch charges, unchanged layouts free, tracked total
+    never worse, transposition share strictly shrinks, ``layout`` target),
+    so the perf code cannot silently rot.  ``--json PATH`` additionally
+    writes every target's machine-readable metrics to one JSON artifact so
+    the perf trajectory can be tracked across commits (``make bench-smoke``
+    emits ``BENCH_smoke.json``).
 
 The CLI only composes the public library API — everything it does can be done
 from a notebook with the same calls — but it gives the benchmark scripts and
@@ -101,6 +105,7 @@ def cmd_run(args: argparse.Namespace) -> int:
                                  "backend": args.backend,
                                  "maxdim": args.maxdim,
                                  "nsweeps": args.nsweeps}
+    result = None
     if args.engine == "two-site":
         result, psi = dmrg(mpo, psi0, config, backend=backend)
         energies = [result.energy]
@@ -135,10 +140,27 @@ def cmd_run(args: argparse.Namespace) -> int:
         report["variance"] = m.variance
         report["profiles"] = {k: [float(x) for x in v]
                               for k, v in m.profiles.items()}
+
+    # per-sweep statistics: plan-cache hit rates next to the layout
+    # tracker's transition counts (ROADMAP: surface the tracker in `run`)
+    if getattr(result, "sweep_records", None):
+        from .perf.report import format_sweep_records
+        print(format_sweep_records(result.sweep_records))
+        report["sweeps"] = [
+            {"sweep": r.sweep, "energy": r.energy,
+             "max_bond_dim": r.max_bond_dim, "seconds": r.seconds,
+             "plan_hits": r.plan_hits, "plan_misses": r.plan_misses,
+             "layout_moves": r.layout_moves,
+             "layout_reuses": r.layout_reuses}
+            for r in result.sweep_records]
     if world is not None:
+        from .perf.report import format_layout_tracker
         modelled = world.profiler.total_seconds()
         print(f"modelled time on {world.machine.name}: {modelled:.3f} s")
+        print(format_layout_tracker(world.layout_tracker.snapshot()))
         report["modelled_seconds"] = modelled
+        report["layout_tracker"] = world.layout_tracker.snapshot()
+    report["matvec_compiler"] = backend.matvec_counters.snapshot()
 
     if args.save_state:
         save_mps(args.save_state, psi, extra={"energy": energies[0]})
@@ -153,6 +175,7 @@ def cmd_run(args: argparse.Namespace) -> int:
 def cmd_bench(args: argparse.Namespace) -> int:
     """Run the benchmark smoke targets (measured + modelled consistency)."""
     rc = 0
+    emitted: Dict[str, object] = {}
     if args.target in ("all", "plan-cost"):
         from .perf.plan_bench import (format_plan_cost_check,
                                       run_plan_cost_check)
@@ -161,6 +184,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         else:
             stats = run_plan_cost_check()
         print(format_plan_cost_check(stats))
+        emitted["plan_cost"] = stats
         if not (stats["dense_equal"] and stats["block_not_worse"]
                 and stats["redis_strictly_less"]):
             print("error: plan-aware cost model violated an invariant "
@@ -173,6 +197,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         else:
             stats = run_layout_check()
         print(format_layout_check(stats))
+        emitted["layout"] = stats
         if not (stats["first_touch_charges"] and stats["unchanged_free"]
                 and stats["tracked_not_worse"]
                 and stats["transposition_share_decreases"]):
@@ -187,27 +212,69 @@ def cmd_bench(args: argparse.Namespace) -> int:
         else:
             stats = run_plan_cache_benchmark(nsites=8, maxdim=16, nsweeps=3)
         print(format_plan_cache_benchmark(stats))
+        emitted["plan_cache"] = stats
         if stats["energy_delta"] > 1e-8:
             print("error: planned and naive energies disagree "
                   f"({stats['energy_delta']:.3e})", file=sys.stderr)
+            rc = 1
+    if args.target in ("all", "matvec"):
+        from .perf.matvec_bench import (format_matvec_benchmark,
+                                        run_matvec_compile_benchmark)
+        if args.full:
+            stats = run_matvec_compile_benchmark()
+        else:
+            stats = run_matvec_compile_benchmark(nsites=12, maxdim=16,
+                                                 repeats=5, dmrg_nsites=8,
+                                                 dmrg_maxdim=16,
+                                                 dmrg_nsweeps=3)
+        print(format_matvec_benchmark(stats))
+        emitted["matvec"] = stats
+        if stats["dmrg_energy_delta"] > 1e-8 or not stats["plan_stats_equal"]:
+            print("error: compiled matvec diverged from the planned path "
+                  f"(|dE| = {stats['dmrg_energy_delta']:.3e}, plan stats "
+                  f"equal: {stats['plan_stats_equal']})", file=sys.stderr)
             rc = 1
     if args.target in ("all", "micro-kernels"):
         import importlib.util
         import pathlib
 
-        bench = (pathlib.Path(__file__).resolve().parents[2] /
-                 "benchmarks" / "bench_micro_kernels.py")
-        if not bench.exists():
-            print(f"micro-kernel benchmarks not found at {bench}; skipping")
-        elif (importlib.util.find_spec("pytest") is None or
-              importlib.util.find_spec("pytest_benchmark") is None):
-            print("pytest/pytest-benchmark not installed; "
-                  "skipping micro-kernel benchmarks")
+        if args.json:
+            # the scriptable twin runs the same kernels and feeds the JSON
+            # artifact; running the pytest harness on top would execute the
+            # suite a second time for no extra signal
+            from .perf.microbench import format_micro_kernels, run_micro_kernels
+            stats = run_micro_kernels(smoke=not args.full)
+            print(format_micro_kernels(stats))
+            emitted["micro_kernels"] = stats
         else:
-            import pytest
-            flags = [] if args.full else ["--benchmark-disable"]
-            rc = max(rc, int(pytest.main(
-                [str(bench), "-q", "-p", "no:cacheprovider"] + flags)))
+            bench = (pathlib.Path(__file__).resolve().parents[2] /
+                     "benchmarks" / "bench_micro_kernels.py")
+            if not bench.exists():
+                print(f"micro-kernel benchmarks not found at {bench}; "
+                      "skipping")
+            elif (importlib.util.find_spec("pytest") is None or
+                  importlib.util.find_spec("pytest_benchmark") is None):
+                print("pytest/pytest-benchmark not installed; "
+                      "skipping micro-kernel benchmarks")
+            else:
+                import pytest
+                flags = [] if args.full else ["--benchmark-disable"]
+                rc = max(rc, int(pytest.main(
+                    [str(bench), "-q", "-p", "no:cacheprovider"] + flags)))
+    if args.json:
+        artifact = {
+            "schema": "repro-bench/1",
+            "created_unix": time.time(),
+            "mode": "full" if args.full else "smoke",
+            "target": args.target,
+            "ok": rc == 0,
+            "targets": emitted,
+        }
+        with open(args.json, "w", encoding="utf-8") as fh:
+            # numpy scalars degrade to plain floats; everything else in the
+            # stats dicts is already JSON-native
+            json.dump(artifact, fh, indent=2, sort_keys=True, default=float)
+        print(f"bench metrics saved: {args.json}")
     return rc
 
 
@@ -253,7 +320,10 @@ def build_parser() -> argparse.ArgumentParser:
         "bench", help="run benchmark smoke targets (tiny sizes)")
     p_bench.add_argument("--target", default="all",
                          choices=["all", "plan-cost", "layout", "plan-cache",
-                                  "micro-kernels"])
+                                  "matvec", "micro-kernels"])
+    p_bench.add_argument("--json", default=None, metavar="PATH",
+                         help="write every target's machine-readable metrics "
+                              "to this JSON artifact (e.g. BENCH_smoke.json)")
     size = p_bench.add_mutually_exclusive_group()
     size.add_argument("--full", action="store_true",
                       help="full benchmark sizes instead of the smoke run")

@@ -75,12 +75,22 @@ class SimWorld:
         self.profiler.add_communication(comm.words, comm.supersteps, seconds)
         return seconds
 
+    def _copy_rate(self) -> float:
+        """Modelled aggregate memory-copy rate (elements / second).
+
+        Shared by every memory-bound charge — tensor refolding
+        (:meth:`_charge_transpose`) and the Davidson vector algebra
+        (:meth:`charge_davidson_algebra`) — so tuning the streaming rate
+        moves both categories together.
+        """
+        return 5e9 * self.nodes
+
     def _charge_transpose(self, elements: float) -> float:
         # tensor mapping/refolding touches every element a constant number of
         # times at (modelled) memory-copy speed, scaled by the machine's
         # mapping overhead factor
-        copy_rate = 5e9 * self.nodes  # elements / second
-        seconds = self.machine.transpose_overhead * elements / copy_rate * 10.0
+        seconds = (self.machine.transpose_overhead * elements
+                   / self._copy_rate() * 10.0)
         self.profiler.add("transposition", seconds)
         return seconds
 
@@ -299,6 +309,59 @@ class SimWorld:
             return seconds
         raise ValueError(f"unknown algorithm {algorithm!r}; expected "
                          "'sparse-sparse', 'sparse-dense' or 'list'")
+
+    def charge_davidson_algebra(self, nnz: float, *, naxpy: int = 0,
+                                ndot: int = 0) -> float:
+        """The Davidson solver's internal vector algebra (axpy-like traffic).
+
+        Between matrix-vector products the solver streams the basis vectors
+        through purely memory-bound kernels: Ritz-vector and residual
+        assembly, Gram-Schmidt orthogonalization and the subspace-matrix
+        inner products.  The paper's measured small-``m`` overhead comes from
+        exactly this regime — the vectors are too small to amortize the
+        per-operation latencies — so the model charges:
+
+        * each **axpy** (``y += alpha * x``) as three streamed passes over
+          the ``nnz`` stored words (two reads, one write) at the machine's
+          memory-copy rate;
+        * each **inner product** as two streamed reads plus one small
+          allreduce (a latency-bound superstep — the dominant term at small
+          bond dimension).
+
+        The time lands in the custom ``"davidson"`` profiler category (plus
+        ``"communication"`` for the allreduces) so Fig. 7-style breakdowns
+        expose it separately from the contraction kernels.
+
+        Parameters
+        ----------
+        nnz:
+            Stored words (8-byte elements) of one Davidson basis vector.
+        naxpy:
+            Number of vector-update (axpy/scale) operations performed.
+        ndot:
+            Number of inner products / norms performed.
+
+        Returns
+        -------
+        float
+            Modelled seconds charged to the profiler.
+        """
+        naxpy = max(int(naxpy), 0)
+        ndot = max(int(ndot), 0)
+        if nnz <= 0 or (naxpy == 0 and ndot == 0):
+            return 0.0
+        words = (3.0 * naxpy + 2.0 * ndot) * float(nnz)
+        # streamed at the same modelled memory-copy rate the transposition
+        # model uses (elements / second across the machine)
+        seconds = words / self._copy_rate()
+        self.profiler.add("davidson", seconds, count=naxpy + ndot,
+                          allow_custom=True)
+        self.profiler.add_flops(2.0 * (naxpy + ndot) * float(nnz))
+        comm = 0.0
+        if ndot:
+            # every inner product ends in an allreduce of one word per rank
+            comm = self._charge_comm(CommCost(float(ndot), float(ndot)))
+        return seconds + comm
 
     def charge_svd(self, rows: int, cols: int) -> float:
         """One distributed SVD (ScaLAPACK ``pdgesvd`` model).

@@ -62,6 +62,10 @@ class DMRGConfig:
     energy_tol: float = 0.0          # stop early when sweep-to-sweep change is below
     site_ranges: Sequence[tuple[int, int]] | None = None  # restrict optimized sites
     record_site_details: bool = True
+    #: compile the Davidson matvec chain once per bond (static-operand caching
+    #: + workspace arena, :mod:`repro.symmetry.matvec`); ``False`` keeps the
+    #: per-contraction planned path (the benchmark baseline)
+    compile_matvec: bool = True
     verbose: bool = False
 
 
@@ -93,12 +97,20 @@ class SweepRecord:
     flops: float
     plan_hits: int = 0               # contraction-plan cache hits this sweep
     plan_misses: int = 0             # contraction-plan cache misses this sweep
+    layout_moves: int = 0            # charged layout moves (first + changes)
+    layout_reuses: int = 0           # operand touches with an unchanged layout
 
     @property
     def plan_hit_rate(self) -> float:
         """Fraction of this sweep's contractions served by a cached plan."""
         n = self.plan_hits + self.plan_misses
         return self.plan_hits / n if n else 0.0
+
+    @property
+    def layout_reuse_rate(self) -> float:
+        """Fraction of this sweep's tracked operand touches that were free."""
+        n = self.layout_moves + self.layout_reuses
+        return self.layout_reuses / n if n else 0.0
 
 
 class PlanStatsRecorder:
@@ -137,6 +149,44 @@ class PlanStatsRecorder:
         result.plan_execute_seconds = now[3] - self._run0[3]
 
 
+class LayoutStatsRecorder:
+    """Layout-tracker counter deltas for one DMRG run (and per sweep).
+
+    Mirrors :class:`PlanStatsRecorder` for the sweep-persistent layout
+    tracker (:mod:`repro.ctf.layout`): the sweep drivers read per-sweep
+    transition/reuse deltas into each :class:`SweepRecord` so the CLI can
+    show the transition counts next to the plan-cache statistics.  Works
+    with backends that carry no simulated world: every delta stays zero.
+    """
+
+    def __init__(self, backend):
+        world = getattr(backend, "world", None)
+        self.tracker = world.layout_tracker if world is not None else None
+        self._run0 = self._snap()
+        self._sweep0 = self._run0
+
+    def _snap(self) -> tuple:
+        t = self.tracker
+        if t is None:
+            return (0, 0)
+        return (t.charged_moves, t.reuses)
+
+    def start_sweep(self) -> None:
+        """Mark the beginning of a sweep."""
+        self._sweep0 = self._snap()
+
+    def sweep_counts(self) -> tuple:
+        """``(layout_moves, layout_reuses)`` since :meth:`start_sweep`."""
+        now = self._snap()
+        return now[0] - self._sweep0[0], now[1] - self._sweep0[1]
+
+    def finalize(self, result: "DMRGResult") -> None:
+        """Write the run's layout-tracker deltas into ``result``."""
+        now = self._snap()
+        result.layout_moves = now[0] - self._run0[0]
+        result.layout_reuses = now[1] - self._run0[1]
+
+
 @dataclass
 class DMRGResult:
     """Final result of a DMRG run."""
@@ -150,6 +200,8 @@ class DMRGResult:
     plan_cache_misses: int = 0       # contraction-plan cache misses this run
     plan_seconds: float = 0.0        # wall time spent building plans
     plan_execute_seconds: float = 0.0  # wall time in the fused-GEMM executor
+    layout_moves: int = 0            # charged layout moves this run
+    layout_reuses: int = 0           # free layout reuses this run
 
     @property
     def total_flops(self) -> float:
@@ -166,6 +218,12 @@ class DMRGResult:
         """Plan-cache hit rate over the whole run (0.0 without a planner)."""
         n = self.plan_cache_hits + self.plan_cache_misses
         return self.plan_cache_hits / n if n else 0.0
+
+    @property
+    def layout_reuse_rate(self) -> float:
+        """Fraction of tracked operand touches served in place (free)."""
+        n = self.layout_moves + self.layout_reuses
+        return self.layout_reuses / n if n else 0.0
 
     @property
     def plan_cache_hit_rate_after_first_sweep(self) -> float:

@@ -33,8 +33,8 @@ from ..mps.mps import MPS
 from ..perf import flops as flopcount
 from ..symmetry import BlockSparseTensor
 from ..symmetry.charges import zero_charge
-from .config import (DMRGConfig, DMRGResult, PlanStatsRecorder, SweepRecord,
-                     Sweeps)
+from .config import (DMRGConfig, DMRGResult, LayoutStatsRecorder,
+                     PlanStatsRecorder, SweepRecord, Sweeps)
 from .davidson import davidson
 from ..ctf.layout import davidson_key, site_key
 from .environments import EnvironmentCache, extend_left, extend_right
@@ -132,6 +132,11 @@ class PenalizedHamiltonian:
     projections: Sequence[BlockSparseTensor]
     weight: float
 
+    @property
+    def backend(self) -> ContractionBackend:
+        """The wrapped Hamiltonian's backend (for cost-model discovery)."""
+        return self.base.backend
+
     def apply(self, x: BlockSparseTensor) -> BlockSparseTensor:
         out = self.base.apply(x)
         for p in self.projections:
@@ -170,6 +175,7 @@ def excited_dmrg(operator: MPO, psi0: MPS, previous: Sequence[MPS],
     result = DMRGResult(energy=np.inf)
     last_energy = np.inf
     plan_stats = PlanStatsRecorder(backend)
+    layout_stats = LayoutStatsRecorder(backend)
 
     for sweep_id in range(len(config.sweeps)):
         maxdim = config.sweeps.maxdims[sweep_id]
@@ -180,6 +186,7 @@ def excited_dmrg(operator: MPO, psi0: MPS, previous: Sequence[MPS],
         sweep_maxtrunc = 0.0
         sweep_flops0 = flopcount.total_flops()
         plan_stats.start_sweep()
+        layout_stats.start_sweep()
         t_sweep = time.perf_counter()
 
         if psi.center != 0:
@@ -195,7 +202,8 @@ def excited_dmrg(operator: MPO, psi0: MPS, previous: Sequence[MPS],
             right = envs.right(j + 1)
             heff = EffectiveHamiltonian(left, operator.tensors[j],
                                         operator.tensors[j + 1], right,
-                                        backend, site=j)
+                                        backend, site=j,
+                                        compile=config.compile_matvec)
             projections = [oc.projected_two_site(j) for oc in overlaps]
             penalized = PenalizedHamiltonian(heff, projections, weight)
 
@@ -206,6 +214,9 @@ def excited_dmrg(operator: MPO, psi0: MPS, previous: Sequence[MPS],
             # report the bare energy of H, not of the penalized operator
             x = dav.eigenvector
             energy = float(np.real(x.inner(heff.apply(x))))
+            # the SVD below rewrites the wavefunction: invalidate the bond's
+            # compiled matvec programs and recycle their workspace buffers
+            heff.release()
 
             absorb = "right" if direction == "right" else "left"
             u, _, vh, info = backend.svd(
@@ -254,9 +265,11 @@ def excited_dmrg(operator: MPO, psi0: MPS, previous: Sequence[MPS],
         seconds = time.perf_counter() - t_sweep
         dflops = flopcount.total_flops() - sweep_flops0
         plan_hits, plan_misses = plan_stats.sweep_counts()
+        layout_moves, layout_reuses = layout_stats.sweep_counts()
         result.sweep_records.append(SweepRecord(
             sweep_id, sweep_energy, sweep_maxdim, sweep_maxtrunc, seconds,
-            dflops, plan_hits=plan_hits, plan_misses=plan_misses))
+            dflops, plan_hits=plan_hits, plan_misses=plan_misses,
+            layout_moves=layout_moves, layout_reuses=layout_reuses))
         result.energies.append(sweep_energy)
         result.energy = sweep_energy
         if (config.energy_tol > 0 and
@@ -266,6 +279,7 @@ def excited_dmrg(operator: MPO, psi0: MPS, previous: Sequence[MPS],
         last_energy = sweep_energy
 
     plan_stats.finalize(result)
+    layout_stats.finalize(result)
     psi.normalize()
     return result, psi
 

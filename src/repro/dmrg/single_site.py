@@ -30,8 +30,8 @@ from ..mps.mps import MPS
 from ..perf import flops as flopcount
 from ..symmetry import BlockSparseTensor, Index, svd
 from ..symmetry.reshape import fuse_modes
-from .config import (DMRGConfig, DMRGResult, PlanStatsRecorder, SiteRecord,
-                     SweepRecord, Sweeps)
+from .config import (DMRGConfig, DMRGResult, LayoutStatsRecorder,
+                     PlanStatsRecorder, SiteRecord, SweepRecord, Sweeps)
 from .davidson import davidson
 from .environments import EnvironmentCache
 
@@ -154,6 +154,7 @@ def single_site_dmrg(operator: MPO, psi0: MPS, config: DMRGConfig, *,
     result = DMRGResult(energy=np.inf)
     last_energy = np.inf
     plan_stats = PlanStatsRecorder(backend)
+    layout_stats = LayoutStatsRecorder(backend)
 
     for sweep_id in range(nsweeps):
         maxdim = config.sweeps.maxdims[sweep_id]
@@ -165,6 +166,7 @@ def single_site_dmrg(operator: MPO, psi0: MPS, config: DMRGConfig, *,
         sweep_maxtrunc = 0.0
         sweep_flops0 = flopcount.total_flops()
         plan_stats.start_sweep()
+        layout_stats.start_sweep()
         t_sweep = time.perf_counter()
 
         if psi.center != 0:
@@ -257,9 +259,11 @@ def single_site_dmrg(operator: MPO, psi0: MPS, config: DMRGConfig, *,
         seconds = time.perf_counter() - t_sweep
         dflops = flopcount.total_flops() - sweep_flops0
         plan_hits, plan_misses = plan_stats.sweep_counts()
+        layout_moves, layout_reuses = layout_stats.sweep_counts()
         result.sweep_records.append(SweepRecord(
             sweep_id, sweep_energy, sweep_maxdim, sweep_maxtrunc, seconds,
-            dflops, plan_hits=plan_hits, plan_misses=plan_misses))
+            dflops, plan_hits=plan_hits, plan_misses=plan_misses,
+            layout_moves=layout_moves, layout_reuses=layout_reuses))
         result.energies.append(sweep_energy)
         result.energy = sweep_energy
         if config.verbose:  # pragma: no cover
@@ -271,6 +275,7 @@ def single_site_dmrg(operator: MPO, psi0: MPS, config: DMRGConfig, *,
         last_energy = sweep_energy
 
     plan_stats.finalize(result)
+    layout_stats.finalize(result)
     psi.normalize()
     return result, psi
 

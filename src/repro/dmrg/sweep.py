@@ -10,7 +10,7 @@ direction), and the environments are extended to the next center.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 import numpy as np
@@ -21,8 +21,9 @@ from ..mps.mpo import MPO
 from ..mps.mps import MPS
 from ..perf import flops as flopcount
 from ..symmetry import BlockSparseTensor
-from .config import (DMRGConfig, DMRGResult, PlanStatsRecorder, SiteRecord,
-                     Sweeps, SweepRecord)
+from ..symmetry.matvec import MatvecCompiler, MatvecStage
+from .config import (DMRGConfig, DMRGResult, LayoutStatsRecorder,
+                     PlanStatsRecorder, SiteRecord, Sweeps, SweepRecord)
 from .davidson import davidson
 from .environments import EnvironmentCache, extend_left, extend_right
 
@@ -36,6 +37,15 @@ class EffectiveHamiltonian:
     layout tracker (:mod:`repro.ctf.layout`): repeated Davidson matvecs reuse
     the operands' distributed layouts, so only the first application — or a
     genuine mapping change — charges a redistribution.
+
+    With ``compile=True`` (the default) the 4-contraction chain is lowered
+    once per bond into a :class:`~repro.symmetry.matvec.MatvecProgram`: the
+    static operands are matricized once and every further Davidson matvec
+    and re-solve at this bond runs through preallocated workspace buffers
+    with zero symbolic work, charging the cost model identically to the
+    chained path.  :meth:`release` invalidates the programs (the sweep driver
+    calls it before the SVD rewrites the wavefunction) and recycles their
+    buffers for the next bond.
     """
 
     left_env: BlockSparseTensor
@@ -44,25 +54,43 @@ class EffectiveHamiltonian:
     right_env: BlockSparseTensor
     backend: ContractionBackend
     site: Optional[int] = None
+    compile: bool = True
+    _compiler: Optional[MatvecCompiler] = field(default=None, repr=False)
 
-    def apply(self, x: BlockSparseTensor) -> BlockSparseTensor:
-        """Apply ``K`` to a two-site tensor ``x`` with modes (l, p1, p2, r)."""
-        c = self.backend.contract
+    def stages(self) -> list[MatvecStage]:
+        """The chain's stage descriptions (operands, axes, layout keys)."""
         if self.site is not None:
             lk, w1k, w2k, rk, xk = heff_operand_keys(self.site)
             hk = [f"{xk}:h{i}" for i in range(4)]
         else:
             lk = w1k = w2k = rk = xk = None
             hk = [None] * 4
-        t = c(self.left_env, x, axes=([2], [0]),
-              operand_keys=(lk, xk), out_key=hk[0])   # (bl, wl, p1, p2, r)
-        t = c(t, self.w1, axes=([1, 2], [0, 2]),
-              operand_keys=(hk[0], w1k), out_key=hk[1])  # (bl, p2, r, p1', w1r)
-        t = c(t, self.w2, axes=([4, 1], [0, 2]),
-              operand_keys=(hk[1], w2k), out_key=hk[2])  # (bl, r, p1', p2', w2r)
-        t = c(t, self.right_env, axes=([1, 4], [2, 1]),
-              operand_keys=(hk[2], rk), out_key=hk[3])   # (bl, p1', p2', br)
-        return t
+        return [
+            MatvecStage(self.left_env, "a", ((2,), (0,)), (lk, xk), hk[0]),
+            # (bl, wl, p1, p2, r)
+            MatvecStage(self.w1, "b", ((1, 2), (0, 2)), (hk[0], w1k), hk[1]),
+            # (bl, p2, r, p1', w1r)
+            MatvecStage(self.w2, "b", ((4, 1), (0, 2)), (hk[1], w2k), hk[2]),
+            # (bl, r, p1', p2', w2r)
+            MatvecStage(self.right_env, "b", ((1, 4), (2, 1)),
+                        (hk[2], rk), hk[3]),
+            # (bl, p1', p2', br)
+        ]
+
+    def _get_compiler(self) -> MatvecCompiler:
+        if self._compiler is None:
+            self._compiler = MatvecCompiler(self.backend, self.stages(),
+                                            enabled=self.compile)
+        return self._compiler
+
+    def apply(self, x: BlockSparseTensor) -> BlockSparseTensor:
+        """Apply ``K`` to a two-site tensor ``x`` with modes (l, p1, p2, r)."""
+        return self._get_compiler().apply(x)
+
+    def release(self) -> None:
+        """Drop the compiled programs (static operands are about to change)."""
+        if self._compiler is not None:
+            self._compiler.release()
 
     def __call__(self, x: BlockSparseTensor) -> BlockSparseTensor:
         return self.apply(x)
@@ -112,6 +140,7 @@ def dmrg(operator: MPO, psi0: MPS, config: DMRGConfig, *,
     result = DMRGResult(energy=np.inf)
     last_energy = np.inf
     plan_stats = PlanStatsRecorder(backend)
+    layout_stats = LayoutStatsRecorder(backend)
 
     for sweep_id in range(len(config.sweeps)):
         maxdim = config.sweeps.maxdims[sweep_id]
@@ -122,6 +151,7 @@ def dmrg(operator: MPO, psi0: MPS, config: DMRGConfig, *,
         sweep_maxtrunc = 0.0
         sweep_flops0 = flopcount.total_flops()
         plan_stats.start_sweep()
+        layout_stats.start_sweep()
         t_sweep = time.perf_counter()
 
         ranges = config.site_ranges or [(0, n - 1)]
@@ -146,12 +176,18 @@ def dmrg(operator: MPO, psi0: MPS, config: DMRGConfig, *,
                 right = envs.right(j + 1)
                 heff = EffectiveHamiltonian(left, operator.tensors[j],
                                             operator.tensors[j + 1], right,
-                                            backend, site=j)
+                                            backend, site=j,
+                                            compile=config.compile_matvec)
                 x0 = two_site_tensor(psi, j, backend)
                 dav = davidson(heff, x0, max_iterations=dav_iters,
                                max_subspace=config.davidson_max_subspace,
                                tol=config.davidson_tol, rng=rng)
                 energy = dav.eigenvalue
+                # the SVD below rewrites the wavefunction and (on the next
+                # step) the environments: the compiled matvec programs'
+                # cached static views are stale, so the bond's programs are
+                # invalidated and their workspace buffers recycled
+                heff.release()
 
                 absorb = "right" if direction == "right" else "left"
                 u, _, vh, info = backend.svd(
@@ -200,9 +236,11 @@ def dmrg(operator: MPO, psi0: MPS, config: DMRGConfig, *,
         seconds = time.perf_counter() - t_sweep
         dflops = flopcount.total_flops() - sweep_flops0
         plan_hits, plan_misses = plan_stats.sweep_counts()
+        layout_moves, layout_reuses = layout_stats.sweep_counts()
         result.sweep_records.append(SweepRecord(
             sweep_id, sweep_energy, sweep_maxdim, sweep_maxtrunc, seconds,
-            dflops, plan_hits=plan_hits, plan_misses=plan_misses))
+            dflops, plan_hits=plan_hits, plan_misses=plan_misses,
+            layout_moves=layout_moves, layout_reuses=layout_reuses))
         result.energies.append(sweep_energy)
         result.energy = sweep_energy
         if config.verbose:  # pragma: no cover
@@ -215,6 +253,7 @@ def dmrg(operator: MPO, psi0: MPS, config: DMRGConfig, *,
         last_energy = sweep_energy
 
     plan_stats.finalize(result)
+    layout_stats.finalize(result)
     return result, psi
 
 

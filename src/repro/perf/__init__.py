@@ -32,6 +32,7 @@ _LAZY = {
     "StepCost": "scaling",
     "column_times": "scaling",
     "cost_time_points": "scaling",
+    "davidson_vector_ops": "scaling",
     "headline_speedups": "scaling",
     "itensor_reference": "scaling",
     "layout_tracker_comparison": "scaling",
@@ -58,6 +59,11 @@ _LAZY = {
     "run_plan_cache_benchmark": "plan_bench",
     "format_plan_cost_check": "plan_bench",
     "run_plan_cost_check": "plan_bench",
+    "format_matvec_benchmark": "matvec_bench",
+    "run_matvec_compile_benchmark": "matvec_bench",
+    "format_micro_kernels": "microbench",
+    "run_micro_kernels": "microbench",
+    "format_sweep_records": "report",
 }
 
 __all__ = ["flops", "FlopCounter", "PlanCounter", "add_flops", "count_flops",

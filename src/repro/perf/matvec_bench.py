@@ -1,0 +1,202 @@
+"""Matvec-compile benchmark: compiled pipeline vs planned per-contraction path.
+
+The compiled Davidson matvec (:mod:`repro.symmetry.matvec`) must beat the
+PR-1 planned per-contraction path on the measured sizes while reproducing it
+exactly: same energies, same plan-cache statistics, same layout-tracker
+traffic.  This module measures all of that in one place; it is used by
+``benchmarks/bench_matvec_compile.py`` and the CLI smoke/JSON targets
+(``python -m repro bench --target matvec [--json ...]``).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict
+
+import numpy as np
+
+from ..backends.base import DirectBackend
+from .report import format_table
+
+
+def heff_setup(nsites: int, maxdim: int, *, model: str = "heisenberg",
+               seed: int = 7):
+    """Mid-chain effective-Hamiltonian operands at bond dimension ``maxdim``.
+
+    Builds the named model, a random symmetric MPS canonicalized to the
+    middle bond, and returns ``(left_env, w1, w2, right_env, x)`` — the four
+    static operands of the two-site effective Hamiltonian plus the two-site
+    tensor.  The single setup recipe shared by the matvec/micro-kernel
+    benchmarks and the matvec test suite.
+    """
+    from ..dmrg import EnvironmentCache, two_site_tensor
+    from ..models import heisenberg_chain_model, hubbard_chain_model
+    from ..mps import MPS, build_mpo
+
+    builder = {"heisenberg": heisenberg_chain_model,
+               "hubbard": hubbard_chain_model}[model]
+    lattice, sites, opsum, config = builder(nsites)
+    mpo = build_mpo(opsum, sites)
+    psi = MPS.random(sites, total_charge=sites.total_charge(config),
+                     bond_dim=maxdim, rng=np.random.default_rng(seed))
+    psi.canonicalize(nsites // 2)
+    envs = EnvironmentCache(psi, mpo)
+    j = nsites // 2
+    return (envs.left(j), mpo.tensors[j], mpo.tensors[j + 1],
+            envs.right(j + 1), two_site_tensor(psi, j))
+
+
+def _time_applies(heff, x, repeats: int, warmup: int = 3) -> float:
+    for _ in range(warmup):
+        heff.apply(x)
+    t0 = time.perf_counter()
+    for _ in range(repeats):
+        y = heff.apply(x)
+    dt = (time.perf_counter() - t0) / repeats
+    assert y.norm() > 0
+    return dt
+
+
+def run_matvec_compile_benchmark(*, nsites: int = 32, maxdim: int = 64,
+                                 repeats: int = 40, model: str = "heisenberg",
+                                 dmrg_nsites: int = 10, dmrg_maxdim: int = 24,
+                                 dmrg_nsweeps: int = 4) -> Dict[str, float]:
+    """Measure the compiled matvec against the planned per-contraction path.
+
+    Two measurements:
+
+    * **steady-state matvec** — repeated applications of one mid-chain
+      effective Hamiltonian (the Davidson inner loop), planned-chained vs
+      compiled, at the measured micro-kernel sizes;
+    * **end-to-end equivalence** — a small DMRG run with the compiled path
+      on and off: energies must agree to 1e-10 and the plan-cache statistics
+      must be identical (the compiled path accounts its cached plans exactly
+      like the chained lookups it replaces).
+    """
+    from ..dmrg import DMRGConfig, EffectiveHamiltonian, Sweeps, dmrg
+    from ..models import heisenberg_chain_model
+    from ..mps import MPS, build_mpo
+
+    left, w1, w2, right, x = heff_setup(nsites, maxdim, model=model)
+    heff_plain = EffectiveHamiltonian(left, w1, w2, right, DirectBackend(),
+                                      compile=False)
+    backend = DirectBackend()
+    heff_comp = EffectiveHamiltonian(left, w1, w2, right, backend,
+                                     compile=True)
+    planned_seconds = _time_applies(heff_plain, x, repeats)
+    compiled_seconds = _time_applies(heff_comp, x, repeats)
+    delta = (heff_plain.apply(x) - heff_comp.apply(x)).norm()
+    heff_comp.release()
+    # the next bond's compile recycles the released panels and stacks: the
+    # arena's reuse counter is the "zero large allocations" evidence
+    heff_next = EffectiveHamiltonian(left, w1, w2, right, backend,
+                                     compile=True)
+    heff_next.apply(x)
+    heff_next.apply(x)
+    heff_next.release()
+    arena = backend.workspace_arena.snapshot()
+
+    # end-to-end: compiled on/off must agree bit-for-bit in the statistics
+    lattice, sites, opsum, config_state = heisenberg_chain_model(dmrg_nsites)
+    mpo = build_mpo(opsum, sites, compress=True)
+    psi0 = MPS.product_state(sites, config_state)
+    sweeps = Sweeps.fixed(dmrg_maxdim, dmrg_nsweeps, cutoff=1e-10)
+    res_off, _ = dmrg(mpo, psi0,
+                      DMRGConfig(sweeps=sweeps, compile_matvec=False),
+                      backend=DirectBackend(),
+                      rng=np.random.default_rng(11))
+    res_on, _ = dmrg(mpo, psi0, DMRGConfig(sweeps=sweeps),
+                     backend=DirectBackend(),
+                     rng=np.random.default_rng(11))
+
+    return {
+        "model": model, "nsites": nsites, "maxdim": maxdim,
+        "repeats": repeats,
+        "planned_seconds_per_matvec": planned_seconds,
+        "compiled_seconds_per_matvec": compiled_seconds,
+        "speedup": planned_seconds / compiled_seconds
+        if compiled_seconds > 0 else float("inf"),
+        "matvec_delta_norm": float(delta),
+        "arena_reuses": arena["reuses"],
+        "arena_allocated_bytes": arena["allocated_bytes"],
+        "dmrg_energy_compiled": float(res_on.energy),
+        "dmrg_energy_planned": float(res_off.energy),
+        "dmrg_energy_delta": abs(float(res_on.energy) -
+                                 float(res_off.energy)),
+        "plan_hits_compiled": res_on.plan_cache_hits,
+        "plan_hits_planned": res_off.plan_cache_hits,
+        "plan_misses_compiled": res_on.plan_cache_misses,
+        "plan_misses_planned": res_off.plan_cache_misses,
+        "plan_stats_equal": (res_on.plan_cache_hits == res_off.plan_cache_hits
+                             and res_on.plan_cache_misses
+                             == res_off.plan_cache_misses),
+    }
+
+
+def run_matvec_layout_check(*, nsites: int = 8, maxdim: int = 16,
+                            nsweeps: int = 3) -> Dict[str, object]:
+    """Layout-tracker equivalence of the compiled and chained matvec paths.
+
+    Runs the same small DMRG on the sparse-sparse backend with the compiled
+    matvec on and off; the sweep-persistent layout tracker and the modelled
+    profiler must end in the identical state (the compiled path replays the
+    exact charging sequence).
+    """
+    from ..backends import SparseSparseBackend
+    from ..ctf import BLUE_WATERS, SimWorld
+    from ..dmrg import DMRGConfig, Sweeps, dmrg
+    from ..models import heisenberg_chain_model
+    from ..mps import MPS, build_mpo
+
+    lattice, sites, opsum, config_state = heisenberg_chain_model(nsites)
+    mpo = build_mpo(opsum, sites, compress=True)
+    psi0 = MPS.product_state(sites, config_state)
+    sweeps = Sweeps.fixed(maxdim, nsweeps, cutoff=1e-10)
+
+    snaps = {}
+    for compile_matvec in (False, True):
+        world = SimWorld(nodes=4, procs_per_node=16, machine=BLUE_WATERS)
+        res, _ = dmrg(mpo, psi0,
+                      DMRGConfig(sweeps=sweeps,
+                                 compile_matvec=compile_matvec),
+                      backend=SparseSparseBackend(world),
+                      rng=np.random.default_rng(5))
+        snaps[compile_matvec] = {
+            "tracker": world.layout_tracker.snapshot(),
+            "modelled_seconds": world.modelled_seconds(),
+            "energy": float(res.energy),
+            "layout_moves": res.layout_moves,
+            "layout_reuses": res.layout_reuses,
+        }
+    on, off = snaps[True], snaps[False]
+    return {
+        "tracker_equal": on["tracker"] == off["tracker"],
+        "modelled_seconds_delta": abs(on["modelled_seconds"]
+                                      - off["modelled_seconds"]),
+        "energy_delta": abs(on["energy"] - off["energy"]),
+        "layout_moves": on["layout_moves"],
+        "layout_reuses": on["layout_reuses"],
+        "tracker_on": on["tracker"],
+        "tracker_off": off["tracker"],
+    }
+
+
+def format_matvec_benchmark(stats: Dict[str, float]) -> str:
+    """Render the matvec-compile benchmark as a fixed-width table."""
+    rows = [
+        ("system", f"{stats['model']} n={stats['nsites']}, "
+                   f"m={stats['maxdim']}"),
+        ("planned matvec s", f"{stats['planned_seconds_per_matvec']:.3e}"),
+        ("compiled matvec s", f"{stats['compiled_seconds_per_matvec']:.3e}"),
+        ("speedup", f"{stats['speedup']:.2f}x"),
+        ("|matvec delta|", stats["matvec_delta_norm"]),
+        ("arena buffer reuses", stats["arena_reuses"]),
+        ("arena allocated", f"{stats['arena_allocated_bytes'] / 1e6:.2f} MB"),
+        ("DMRG energy compiled", f"{stats['dmrg_energy_compiled']:+.12f}"),
+        ("DMRG energy planned", f"{stats['dmrg_energy_planned']:+.12f}"),
+        ("|energy delta|", stats["dmrg_energy_delta"]),
+        ("plan stats equal", stats["plan_stats_equal"]),
+    ]
+    return format_table(["metric", "value"], rows,
+                        title="Compiled matvec vs planned per-contraction "
+                              "path")

@@ -14,6 +14,8 @@ from .linalg import (SingularSpectrum, TruncationInfo, qr, spectrum_tensor,
 from .planner import (ContractionPlan, PlanCache, build_plan,
                       tensor_signature)
 from .engine import contract_planned, execute_plan
+from .matvec import (MatvecCompiler, MatvecCounters, MatvecProgram,
+                     MatvecStage, StageCharge, WorkspaceArena)
 from .reshape import FusedMode, fuse_modes, matricize, split_mode
 
 __all__ = [
@@ -21,6 +23,7 @@ __all__ = [
     "zero_charge", "Index", "fuse_indices", "BlockSparseTensor", "contract",
     "outer", "SingularSpectrum", "TruncationInfo", "qr", "spectrum_tensor",
     "svd", "ContractionPlan", "PlanCache", "build_plan", "tensor_signature",
-    "contract_planned", "execute_plan", "FusedMode", "fuse_modes",
-    "matricize", "split_mode",
+    "contract_planned", "execute_plan", "MatvecCompiler", "MatvecCounters",
+    "MatvecProgram", "MatvecStage", "StageCharge", "WorkspaceArena",
+    "FusedMode", "fuse_modes", "matricize", "split_mode",
 ]

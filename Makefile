@@ -1,19 +1,23 @@
 # Development entry points for the SC'20 distributed-DMRG reproduction.
 #
-#   make check        - everything CI runs: tests + docstring gate + bench smoke
-#   make test         - tier-1 test suite (pytest, stops at first failure)
-#   make doccheck     - docstring-presence gate over the public ctf/ surface
-#   make bench-smoke  - measured benchmarks at tiny sizes + plan-aware
-#                       cost-model invariants (python -m repro bench --smoke);
-#                       emits the machine-readable BENCH_smoke.json artifact
-#   make bench        - regenerate the paper-figure benchmark tables
+#   make check          - everything CI runs: tests + docstring gate +
+#                         bench smoke + campaign smoke
+#   make test           - tier-1 test suite (pytest, stops at first failure)
+#   make doccheck       - docstring-presence gate over the public ctf/ surface
+#   make bench-smoke    - measured benchmarks at tiny sizes + plan-aware
+#                         cost-model invariants (python -m repro bench --smoke);
+#                         emits the machine-readable BENCH_smoke.json artifact
+#   make campaign-smoke - tiny 2x2 grid through the sweep scheduler (2
+#                         workers) with the registry layout asserted and
+#                         re-execution skipped via the content hash
+#   make bench          - regenerate the paper-figure benchmark tables
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check test doccheck bench-smoke bench
+.PHONY: check test doccheck bench-smoke campaign-smoke bench
 
-check: test doccheck bench-smoke
+check: test doccheck bench-smoke campaign-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -23,6 +27,9 @@ doccheck:
 
 bench-smoke:
 	$(PYTHON) -m repro bench --smoke --json BENCH_smoke.json
+
+campaign-smoke:
+	$(PYTHON) tools/check_campaign.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ -q --benchmark-only

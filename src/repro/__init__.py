@@ -22,6 +22,9 @@ package provides:
 * ``repro.ed``       — exact diagonalization used for validation
 * ``repro.perf``     — flop counting, block-structure and complexity models, and
   the scaling harness that regenerates every figure and table of the paper
+* ``repro.exp``      — experiment orchestration: declarative scenario specs and
+  grids with content-hash run ids, the parallel sweep scheduler, and the
+  append-only run registry under ``benchmarks/results/history/``
 * ``repro.cli``      — the ``python -m repro`` command-line runner
 """
 

@@ -1,6 +1,6 @@
 """Command-line interface for the DMRG library.
 
-Two subcommands cover the everyday workflows:
+The subcommands cover the everyday workflows:
 
 ``python -m repro models``
     List the registered model Hamiltonians and their default parameters.
@@ -9,7 +9,23 @@ Two subcommands cover the everyday workflows:
     Build a model, run DMRG (two-site by default; ``--engine single-site`` or
     ``--engine excited`` select the variants), optionally on one of the three
     block-sparsity backends mapped to a simulated machine, measure the
-    requested observables, and print/save a report.
+    requested observables, and print/save a report.  ``--seed`` makes the
+    run (and its registry id) reproducible end to end; ``--checkpoint PATH``
+    writes a resumable snapshot after every sweep and ``--resume`` restarts
+    from it mid-schedule.
+
+``python -m repro sweep --grid grid.json --workers 4``
+    Expand a campaign grid (a JSON file, or a built-in name such as
+    ``fig8-weak-scaling-spins`` — see ``--list-grids``) into run specs and
+    execute them on a local process pool with per-run timeouts, failure
+    isolation and content-hash resume: a spec whose deterministic run id
+    already has a completed record is skipped, an interrupted run restarts
+    from its checkpoint.  Every run is archived append-only under
+    ``benchmarks/results/history/<run-id>/``.
+
+``python -m repro history [--diff A B]``
+    Query the run registry: list archived runs, or compare two runs'
+    energies and modelled seconds with regression detection.
 
 ``python -m repro bench --smoke [--json BENCH_smoke.json]``
     Benchmark smoke target: exercise the measured benchmarks — the
@@ -36,14 +52,11 @@ import argparse
 import json
 import sys
 import time
-from typing import Dict, List, Sequence
+from typing import Dict, Sequence
 
-from .backends import make_backend
-from .ctf import MACHINES, SimWorld
-from .dmrg import (DMRGConfig, Sweeps, dmrg, find_lowest_states, measure,
-                   save_mps, single_site_dmrg)
-from .models import available_models, build_model, get_model
-from .mps import MPS, build_mpo
+from .ctf import MACHINES
+from .dmrg import save_mps
+from .models import available_models, get_model
 
 
 def _parse_params(pairs: Sequence[str]) -> Dict[str, object]:
@@ -64,15 +77,6 @@ def _parse_params(pairs: Sequence[str]) -> Dict[str, object]:
     return out
 
 
-def _build_backend(args: argparse.Namespace):
-    if args.backend == "direct":
-        return make_backend("direct", None), None
-    machine = MACHINES[args.machine]
-    world = SimWorld(nodes=args.nodes, procs_per_node=args.procs_per_node,
-                     machine=machine)
-    return make_backend(args.backend, world), world
-
-
 def cmd_models(_args: argparse.Namespace) -> int:
     """List registered models."""
     for name, description in available_models().items():
@@ -83,92 +87,164 @@ def cmd_models(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _spec_from_args(args: argparse.Namespace):
+    """The declarative :class:`~repro.exp.spec.RunSpec` a ``run`` invocation
+    describes (the same spec a grid entry would carry)."""
+    from .exp import RunSpec
+    return RunSpec.from_dict({
+        "model": args.model,
+        "params": _parse_params(args.param or []),
+        "engine": args.engine,
+        "backend": args.backend,
+        "machine": args.machine,
+        "nodes": args.nodes,
+        "procs_per_node": args.procs_per_node,
+        "maxdim": args.maxdim,
+        "nsweeps": args.nsweeps,
+        "cutoff": args.cutoff,
+        "nstates": args.nstates,
+        "seed": args.seed,
+        "initial_state": args.initial_state,
+        "initial_bond_dim": args.initial_bond_dim,
+        "observables": args.measure or [],
+    })
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     """Build a model and run DMRG on it."""
-    overrides = _parse_params(args.param or [])
-    lattice, sites, opsum, config_state = build_model(args.model, **overrides)
-    mpo = build_mpo(opsum, sites)
-    psi0 = MPS.product_state(sites, config_state)
-    backend, world = _build_backend(args)
+    from .exp import execute_run
+    spec = _spec_from_args(args)
+    if args.resume and not args.checkpoint:
+        raise ValueError("--resume needs --checkpoint PATH")
+    out = execute_run(spec, checkpoint_path=args.checkpoint,
+                      resume=args.resume, verbose=args.verbose)
+    world, psi, result = out.world, out.psi, out.result
+    energies = out.energies
 
-    print(f"model       : {args.model} ({lattice.nsites} sites, "
-          f"{len(opsum)} terms, MPO k = {mpo.max_bond_dimension()})")
-    print(f"engine      : {args.engine}, backend: {args.backend}"
+    print(f"run id      : {spec.run_id}  (seed {spec.seed})")
+    print(f"model       : {spec.model} ({len(psi)} sites)")
+    print(f"engine      : {spec.engine}, backend: {spec.backend}"
           + (f" on {world.nodes}x{world.procs_per_node} ranks "
              f"({world.machine.name})" if world else ""))
-
-    sweeps = Sweeps.ramp(args.maxdim, args.nsweeps, cutoff=args.cutoff)
-    config = DMRGConfig(sweeps=sweeps, verbose=args.verbose)
-    t0 = time.perf_counter()
-
-    report: Dict[str, object] = {"model": args.model, "engine": args.engine,
-                                 "backend": args.backend,
-                                 "maxdim": args.maxdim,
-                                 "nsweeps": args.nsweeps}
-    result = None
-    if args.engine == "two-site":
-        result, psi = dmrg(mpo, psi0, config, backend=backend)
-        energies = [result.energy]
-        states = [psi]
-    elif args.engine == "single-site":
-        result, psi = single_site_dmrg(mpo, psi0, config, backend=backend)
-        energies = [result.energy]
-        states = [psi]
-    elif args.engine == "excited":
-        pairs = find_lowest_states(mpo, psi0, args.nstates,
-                                   maxdim=args.maxdim, nsweeps=args.nsweeps,
-                                   cutoff=args.cutoff, backend=backend)
-        energies = [e for e, _ in pairs]
-        states = [s for _, s in pairs]
-        psi = states[0]
-    else:  # pragma: no cover - argparse restricts choices
-        raise ValueError(f"unknown engine {args.engine!r}")
-    seconds = time.perf_counter() - t0
-
+    if out.resumed_sweeps:
+        print(f"resumed     : {out.resumed_sweeps} sweeps from "
+              f"{args.checkpoint}")
     print(f"energy      : {energies[0]:+.10f}")
     if len(energies) > 1:
         for k, e in enumerate(energies[1:], start=1):
             print(f"  level {k}   : {e:+.10f}  (gap {e - energies[0]:.6f})")
     print(f"bond dim    : {psi.max_bond_dimension()}")
-    print(f"wall time   : {seconds:.2f} s")
-    report.update({"energies": energies, "seconds": seconds,
-                   "max_bond_dimension": psi.max_bond_dimension()})
-
-    if args.measure:
-        m = measure(psi, mpo, profile_ops=args.measure)
-        print(m.summary())
-        report["variance"] = m.variance
-        report["profiles"] = {k: [float(x) for x in v]
-                              for k, v in m.profiles.items()}
+    print(f"wall time   : {out.seconds:.2f} s")
+    for line in out.extra_lines:
+        print(line)
 
     # per-sweep statistics: plan-cache hit rates next to the layout
     # tracker's transition counts (ROADMAP: surface the tracker in `run`)
     if getattr(result, "sweep_records", None):
         from .perf.report import format_sweep_records
         print(format_sweep_records(result.sweep_records))
-        report["sweeps"] = [
-            {"sweep": r.sweep, "energy": r.energy,
-             "max_bond_dim": r.max_bond_dim, "seconds": r.seconds,
-             "plan_hits": r.plan_hits, "plan_misses": r.plan_misses,
-             "layout_moves": r.layout_moves,
-             "layout_reuses": r.layout_reuses}
-            for r in result.sweep_records]
     if world is not None:
         from .perf.report import format_layout_tracker
-        modelled = world.profiler.total_seconds()
-        print(f"modelled time on {world.machine.name}: {modelled:.3f} s")
+        print(f"modelled time on {world.machine.name}: "
+              f"{out.report['modelled_seconds']:.3f} s")
         print(format_layout_tracker(world.layout_tracker.snapshot()))
-        report["modelled_seconds"] = modelled
-        report["layout_tracker"] = world.layout_tracker.snapshot()
-    report["matvec_compiler"] = backend.matvec_counters.snapshot()
 
+    if args.checkpoint and not out.resumed_sweeps:
+        print(f"checkpoint  : {args.checkpoint}")
     if args.save_state:
         save_mps(args.save_state, psi, extra={"energy": energies[0]})
         print(f"state saved : {args.save_state}")
     if args.output:
         with open(args.output, "w", encoding="utf-8") as fh:
-            json.dump(report, fh, indent=2)
+            json.dump(out.report, fh, indent=2, sort_keys=True, default=float)
         print(f"report saved: {args.output}")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Execute a campaign grid on the local process-pool scheduler."""
+    import pathlib
+
+    from .exp import (RunRegistry, available_campaigns, builtin_specs,
+                      load_specs, run_campaign)
+    from .perf.report import format_campaign
+
+    if args.list_grids:
+        for name, description in available_campaigns().items():
+            print(f"{name:30s} {description}")
+        return 0
+    if not args.grid:
+        print("error: --grid PATH-or-NAME is required (see --list-grids)",
+              file=sys.stderr)
+        return 2
+    if pathlib.Path(args.grid).exists():
+        name, specs = load_specs(args.grid)
+    else:
+        name, specs = builtin_specs(args.grid)
+    registry = RunRegistry(args.history) if args.history else RunRegistry()
+    print(f"campaign    : {name} ({len(specs)} runs, {args.workers} workers"
+          + (f", timeout {args.timeout:.0f}s/run" if args.timeout else "")
+          + f") -> {registry.root}")
+    if args.dry_run:
+        for spec in specs:
+            done = registry.has_completed(spec.run_id)
+            marker = "skip (archived)" if done and not args.force else "run"
+            print(f"  {spec.run_id:45s} {marker:16s} {spec.summary()}")
+        return 0
+
+    def _progress(outcome) -> None:
+        print(f"  {outcome.run_id:45s} {outcome.status:12s} "
+              f"{outcome.seconds:7.2f} s"
+              + (f"  ({outcome.error})" if outcome.error else ""))
+
+    result = run_campaign(specs, registry=registry, name=name,
+                          workers=args.workers, timeout=args.timeout,
+                          force=args.force,
+                          use_checkpoints=not args.no_checkpoint,
+                          progress=_progress)
+    records = {}
+    for outcome in result.outcomes:
+        records[outcome.run_id] = registry.latest(outcome.run_id)
+    print(format_campaign(result.outcomes, records,
+                          title=f"Campaign summary: {name}"))
+    print(f"completed {result.completed}, skipped {result.skipped}, "
+          f"failed {result.failed} in {result.seconds:.1f} s")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(result.as_dict(), fh, indent=2, sort_keys=True,
+                      default=float)
+        print(f"campaign result saved: {args.json}")
+    return 0 if result.ok else 1
+
+
+def cmd_history(args: argparse.Namespace) -> int:
+    """Query the run registry (list records or diff two runs)."""
+    from .exp import RunRegistry
+    from .perf.report import format_history, format_run_diff
+
+    registry = RunRegistry(args.history) if args.history else RunRegistry()
+    if args.diff:
+        run_a, run_b = args.diff
+        diff = registry.diff(run_a, run_b,
+                             seconds_tolerance=args.seconds_tolerance)
+        print(format_run_diff(diff))
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                json.dump(diff.as_dict(), fh, indent=2, sort_keys=True,
+                          default=float)
+            print(f"diff saved: {args.json}")
+        return 1 if (args.fail_on_regression and diff.regressed) else 0
+    records = registry.records()
+    if args.model:
+        records = [r for r in records
+                   if (r.spec or {}).get("model") == args.model]
+    if args.limit:
+        records = records[:args.limit]
+    if not records:
+        print(f"no runs recorded under {registry.root}")
+        return 0
+    print(format_history(records,
+                         title=f"Run history ({registry.root})"))
     return 0
 
 
@@ -309,12 +385,75 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--procs-per-node", type=int, default=16)
     p_run.add_argument("--measure", nargs="*", default=None, metavar="OP",
                        help="local operators to profile (e.g. Sz Ntot)")
+    p_run.add_argument("--seed", type=int, default=0,
+                       help="seed for the initial MPS and the Davidson "
+                            "randomization (part of the registry run id)")
+    p_run.add_argument("--initial-state", default="product",
+                       choices=["product", "random"],
+                       help="start from the model's product state or a "
+                            "seeded random block-sparse MPS")
+    p_run.add_argument("--initial-bond-dim", type=int, default=8,
+                       help="bond dimension of --initial-state random")
+    p_run.add_argument("--checkpoint", default=None, metavar="PATH",
+                       help="write a resumable checkpoint here after every "
+                            "sweep (two-site / single-site engines)")
+    p_run.add_argument("--resume", action="store_true",
+                       help="restart from an existing --checkpoint file "
+                            "instead of the initial state")
     p_run.add_argument("--save-state", default=None,
                        help="write the optimized MPS to this .npz file")
     p_run.add_argument("--output", default=None,
                        help="write a JSON report to this file")
     p_run.add_argument("--verbose", action="store_true")
     p_run.set_defaults(func=cmd_run)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="execute a campaign grid on a local process pool")
+    p_sweep.add_argument("--grid", default=None, metavar="PATH-or-NAME",
+                         help="grid JSON file, or a built-in campaign name "
+                              "(see --list-grids)")
+    p_sweep.add_argument("--workers", type=int, default=2,
+                         help="worker processes (0 = run inline)")
+    p_sweep.add_argument("--timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="per-run wall-clock limit (pool mode)")
+    p_sweep.add_argument("--history", default=None,
+                         help="registry directory (default "
+                              "benchmarks/results/history)")
+    p_sweep.add_argument("--force", action="store_true",
+                         help="re-execute runs that already completed "
+                              "(appends a new attempt)")
+    p_sweep.add_argument("--no-checkpoint", action="store_true",
+                         help="disable per-sweep checkpoints in the "
+                              "registry record directories")
+    p_sweep.add_argument("--dry-run", action="store_true",
+                         help="print the expanded grid and exit")
+    p_sweep.add_argument("--list-grids", action="store_true",
+                         help="list the built-in campaign grids and exit")
+    p_sweep.add_argument("--json", default=None, metavar="PATH",
+                         help="write the campaign outcome summary to this "
+                              "JSON file")
+    p_sweep.set_defaults(func=cmd_sweep)
+
+    p_hist = sub.add_parser(
+        "history", help="query the content-addressed run registry")
+    p_hist.add_argument("--history", default=None,
+                        help="registry directory (default "
+                             "benchmarks/results/history)")
+    p_hist.add_argument("--limit", type=int, default=None,
+                        help="show only the newest N runs")
+    p_hist.add_argument("--model", default=None,
+                        help="only show runs of this model")
+    p_hist.add_argument("--diff", nargs=2, metavar=("A", "B"), default=None,
+                        help="compare two runs (ids or unique prefixes)")
+    p_hist.add_argument("--seconds-tolerance", type=float, default=0.05,
+                        help="fractional modelled-seconds change treated as "
+                             "a regression by --diff (default 0.05)")
+    p_hist.add_argument("--fail-on-regression", action="store_true",
+                        help="exit 1 when --diff flags a regression")
+    p_hist.add_argument("--json", default=None, metavar="PATH",
+                        help="write the diff as JSON to this file")
+    p_hist.set_defaults(func=cmd_history)
 
     p_bench = sub.add_parser(
         "bench", help="run benchmark smoke targets (tiny sizes)")
@@ -340,6 +479,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except BrokenPipeError:
+        # stdout consumer (e.g. `... | head`) went away mid-report
+        try:
+            sys.stdout.close()
+        except OSError:  # pragma: no cover - double-broken pipe
+            pass
+        return 0
     except (KeyError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

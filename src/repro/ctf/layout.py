@@ -207,3 +207,14 @@ def heff_operand_keys(j: int) -> Tuple[str, str, str, str, str]:
     """
     return (left_env_key(j), mpo_key(j), mpo_key(j + 1),
             right_env_key(j + 1), davidson_key(j))
+
+
+def single_site_heff_operand_keys(j: int) -> Tuple[str, str, str, str]:
+    """Operand keys of the one-site effective Hamiltonian at site ``j``.
+
+    Ordered as the projected Hamiltonian consumes them: left environment,
+    the MPO site tensor, right environment, wavefunction.  The optimized
+    one-site wavefunction plays the role of (and overwrites) the MPS site
+    tensor itself, so it shares :func:`site_key`.
+    """
+    return (left_env_key(j), mpo_key(j), right_env_key(j), site_key(j))

@@ -18,6 +18,7 @@ last completed sweep.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List
@@ -28,6 +29,28 @@ from ..mps.mpo import MPO
 from ..mps.mps import MPS
 from ..mps.sites import SiteSet
 from ..symmetry import BlockSparseTensor, Index
+
+
+def _atomic_savez(path: Path, arrays: Dict[str, np.ndarray]) -> None:
+    """Write an ``.npz`` archive atomically (tmp file + ``os.replace``).
+
+    A checkpoint is written while the run may be killed at any moment (queue
+    limits, the sweep scheduler's per-run timeout); writing into the final
+    path directly could leave a truncated archive that permanently wedges
+    every later resume attempt.  The per-writer tmp name also keeps two
+    processes from interleaving writes into the same scratch file.
+    """
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    try:
+        with open(tmp, "wb") as fh:
+            np.savez_compressed(fh, **arrays)
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():  # pragma: no cover - only on a failed write
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
 
 
 # --------------------------------------------------------------------------- #
@@ -97,7 +120,7 @@ def save_mps(path: str | Path, psi: MPS, extra: Dict[str, float] | None = None
     }
     for j, t in enumerate(psi.tensors):
         arrays.update(tensor_to_arrays(t, f"t{j}"))
-    np.savez_compressed(path, **arrays)
+    _atomic_savez(path, arrays)
     return path
 
 
@@ -123,7 +146,7 @@ def save_mpo(path: str | Path, operator: MPO) -> Path:
     }
     for j, t in enumerate(operator.tensors):
         arrays.update(tensor_to_arrays(t, f"t{j}"))
-    np.savez_compressed(path, **arrays)
+    _atomic_savez(path, arrays)
     return path
 
 
@@ -144,18 +167,24 @@ def load_mpo(path: str | Path, sites: SiteSet) -> MPO:
 # --------------------------------------------------------------------------- #
 @dataclass
 class Checkpoint:
-    """A resumable snapshot of a DMRG run."""
+    """A resumable snapshot of a DMRG run.
+
+    ``metadata`` is an arbitrary JSON-native dict; the experiment runner
+    (:mod:`repro.exp.runner`) stores the owning spec's content-hash
+    ``run_id`` there so a stale checkpoint from a *different* experiment is
+    rejected instead of silently resumed.
+    """
 
     psi: MPS
     completed_sweeps: int
     energies: List[float] = field(default_factory=list)
     energy: float = float("inf")
-    metadata: Dict[str, float] = field(default_factory=dict)
+    metadata: Dict[str, object] = field(default_factory=dict)
 
 
 def save_checkpoint(path: str | Path, psi: MPS, *, completed_sweeps: int,
                     energies: List[float] | None = None,
-                    metadata: Dict[str, float] | None = None) -> Path:
+                    metadata: Dict[str, object] | None = None) -> Path:
     """Persist the state of a partially completed DMRG run."""
     path = Path(path)
     energies = list(energies or [])
@@ -170,7 +199,7 @@ def save_checkpoint(path: str | Path, psi: MPS, *, completed_sweeps: int,
     }
     for j, t in enumerate(psi.tensors):
         arrays.update(tensor_to_arrays(t, f"t{j}"))
-    np.savez_compressed(path, **arrays)
+    _atomic_savez(path, arrays)
     return path
 
 

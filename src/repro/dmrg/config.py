@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import Callable, List, Optional, Sequence
 
 
 @dataclass
@@ -66,6 +66,12 @@ class DMRGConfig:
     #: + workspace arena, :mod:`repro.symmetry.matvec`); ``False`` keeps the
     #: per-contraction planned path (the benchmark baseline)
     compile_matvec: bool = True
+    #: called as ``sweep_hook(sweep_index, psi, result)`` after every
+    #: completed sweep (records already appended).  The experiment runner
+    #: (:mod:`repro.exp.runner`) uses it to write DMRG checkpoints so an
+    #: interrupted campaign run can resume mid-schedule; a hook that raises
+    #: aborts the run after the checkpoint is on disk.
+    sweep_hook: Optional[Callable[[int, object, "DMRGResult"], None]] = None
     verbose: bool = False
 
 

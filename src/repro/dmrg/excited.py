@@ -287,22 +287,27 @@ def excited_dmrg(operator: MPO, psi0: MPS, previous: Sequence[MPS],
 def find_lowest_states(operator: MPO, psi0: MPS, nstates: int, *,
                        maxdim: int = 64, nsweeps: int = 8,
                        cutoff: float = 1e-12, weight: float = 20.0,
-                       backend: Optional[ContractionBackend] = None
+                       backend: Optional[ContractionBackend] = None,
+                       compile_matvec: bool = True,
+                       rng: np.random.Generator | None = None
                        ) -> List[tuple[float, MPS]]:
     """Compute the ``nstates`` lowest eigenstates in ``psi0``'s charge sector.
 
     The first state is the ordinary DMRG ground state; each subsequent state
     penalizes every state found so far.  Returns ``(energy, MPS)`` pairs in
-    ascending energy order.
+    ascending energy order.  ``rng`` seeds the Davidson randomization of
+    every state's sweep (``repro run --seed`` threads one generator through
+    the whole run so registry ids are reproducible end to end).
     """
     if nstates < 1:
         raise ValueError("need at least one state")
     sweeps = Sweeps.ramp(maxdim, nsweeps, cutoff=cutoff)
-    config = DMRGConfig(sweeps=sweeps)
+    config = DMRGConfig(sweeps=sweeps, compile_matvec=compile_matvec)
     found: List[tuple[float, MPS]] = []
     for _ in range(nstates):
         result, psi = excited_dmrg(operator, psi0, [s for _, s in found],
-                                   config, weight=weight, backend=backend)
+                                   config, weight=weight, backend=backend,
+                                   rng=rng)
         found.append((result.energy, psi))
     found.sort(key=lambda pair: pair[0])
     return found

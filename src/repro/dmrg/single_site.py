@@ -17,18 +17,19 @@ flop-for-flop (see ``benchmarks/bench_ablation_single_vs_two_site.py``).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 import numpy as np
 
 from ..backends.base import ContractionBackend, DirectBackend
-from ..ctf.layout import site_key
+from ..ctf.layout import single_site_heff_operand_keys, site_key
 from ..mps.algebra import _direct_sum_index
 from ..mps.mpo import MPO
 from ..mps.mps import MPS
 from ..perf import flops as flopcount
 from ..symmetry import BlockSparseTensor, Index, svd
+from ..symmetry.matvec import MatvecCompiler, MatvecStage
 from ..symmetry.reshape import fuse_modes
 from .config import (DMRGConfig, DMRGResult, LayoutStatsRecorder,
                      PlanStatsRecorder, SiteRecord, SweepRecord, Sweeps)
@@ -38,20 +39,59 @@ from .environments import EnvironmentCache
 
 @dataclass
 class SingleSiteEffectiveHamiltonian:
-    """The projected one-site Hamiltonian ``K_j``, applied implicitly."""
+    """The projected one-site Hamiltonian ``K_j``, applied implicitly.
+
+    ``site`` names the environments, MPO tensor and wavefunction for the
+    sweep-persistent layout tracker (:mod:`repro.ctf.layout`), and with
+    ``compile=True`` (the default) the 3-contraction chain is lowered once
+    per site into a :class:`~repro.symmetry.matvec.MatvecProgram`, exactly
+    like the two-site and excited drivers: static operands are matricized
+    once, repeated Davidson matvecs run through preallocated workspace
+    buffers, and the cost model is charged identically to the chained path.
+    :meth:`release` invalidates the programs before the SVD rewrites the
+    wavefunction.
+    """
 
     left_env: BlockSparseTensor
     w: BlockSparseTensor
     right_env: BlockSparseTensor
     backend: ContractionBackend
+    site: Optional[int] = None
+    compile: bool = True
+    _compiler: Optional[MatvecCompiler] = field(default=None, repr=False)
+
+    def stages(self) -> list[MatvecStage]:
+        """The chain's stage descriptions (operands, axes, layout keys)."""
+        if self.site is not None:
+            lk, wk, rk, xk = single_site_heff_operand_keys(self.site)
+            hk = [f"{xk}:h{i}" for i in range(3)]
+        else:
+            lk = wk = rk = xk = None
+            hk = [None] * 3
+        return [
+            MatvecStage(self.left_env, "a", ((2,), (0,)), (lk, xk), hk[0]),
+            # (bl, wl, p, r)
+            MatvecStage(self.w, "b", ((1, 2), (0, 2)), (hk[0], wk), hk[1]),
+            # (bl, r, p', wr)
+            MatvecStage(self.right_env, "b", ((1, 3), (2, 1)),
+                        (hk[1], rk), hk[2]),
+            # (bl, p', br)
+        ]
+
+    def _get_compiler(self) -> MatvecCompiler:
+        if self._compiler is None:
+            self._compiler = MatvecCompiler(self.backend, self.stages(),
+                                            enabled=self.compile)
+        return self._compiler
 
     def apply(self, x: BlockSparseTensor) -> BlockSparseTensor:
         """Apply ``K_j`` to a one-site tensor ``x`` with modes (l, p, r)."""
-        c = self.backend.contract
-        t = c(self.left_env, x, axes=([2], [0]))        # (bl, wl, p, r)
-        t = c(t, self.w, axes=([1, 2], [0, 2]))         # (bl, r, p', wr)
-        t = c(t, self.right_env, axes=([1, 3], [2, 1]))  # (bl, p', br)
-        return t
+        return self._get_compiler().apply(x)
+
+    def release(self) -> None:
+        """Drop the compiled programs (static operands are about to change)."""
+        if self._compiler is not None:
+            self._compiler.release()
 
     def __call__(self, x: BlockSparseTensor) -> BlockSparseTensor:
         return self.apply(x)
@@ -182,13 +222,19 @@ def single_site_dmrg(operator: MPO, psi0: MPS, config: DMRGConfig, *,
             left = envs.left(j)
             right = envs.right(j)
             heff = SingleSiteEffectiveHamiltonian(left, operator.tensors[j],
-                                                  right, backend)
+                                                  right, backend, site=j,
+                                                  compile=config.compile_matvec)
             x0 = psi.tensors[j]
             dav = davidson(heff, x0, max_iterations=dav_iters,
                            max_subspace=config.davidson_max_subspace,
                            tol=config.davidson_tol, rng=rng)
             energy = dav.eigenvalue
             x = dav.eigenvector
+            # the expansion/SVD below rewrite the wavefunction and (on the
+            # next step) the environments: the compiled matvec programs'
+            # cached static views are stale, so the site's programs are
+            # invalidated and their workspace buffers recycled
+            heff.release()
 
             if direction == "right":
                 if alpha > 0.0:
@@ -266,6 +312,8 @@ def single_site_dmrg(operator: MPO, psi0: MPS, config: DMRGConfig, *,
             layout_moves=layout_moves, layout_reuses=layout_reuses))
         result.energies.append(sweep_energy)
         result.energy = sweep_energy
+        if config.sweep_hook is not None:
+            config.sweep_hook(sweep_id, psi, result)
         if config.verbose:  # pragma: no cover
             print(f"[1-site] sweep {sweep_id}: E = {sweep_energy:+.10f}")
         if (config.energy_tol > 0 and

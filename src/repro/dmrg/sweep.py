@@ -243,6 +243,8 @@ def dmrg(operator: MPO, psi0: MPS, config: DMRGConfig, *,
             layout_moves=layout_moves, layout_reuses=layout_reuses))
         result.energies.append(sweep_energy)
         result.energy = sweep_energy
+        if config.sweep_hook is not None:
+            config.sweep_hook(sweep_id, psi, result)
         if config.verbose:  # pragma: no cover
             print(f"sweep {sweep_id}: E = {sweep_energy:+.10f} "
                   f"(m = {sweep_maxdim}, {seconds:.2f} s)")

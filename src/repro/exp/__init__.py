@@ -1,0 +1,37 @@
+"""Experiment orchestration: scenario specs, sweep scheduler, run registry.
+
+The paper's results are campaigns — grids of runs over models, bond
+dimensions, backends and machine shapes — and this subpackage is the layer
+that executes them as a system instead of by hand:
+
+* :mod:`repro.exp.spec`      — declarative :class:`RunSpec`/:class:`GridSpec`
+  with deterministic content-hash run ids
+* :mod:`repro.exp.runner`    — one spec executed end to end, with seeded
+  initial states and per-sweep checkpoint/resume
+* :mod:`repro.exp.scheduler` — the parallel campaign scheduler (process
+  pool, per-run timeouts, failure isolation, skip-on-completed-hash)
+* :mod:`repro.exp.registry`  — the append-only, content-addressed run store
+  under ``benchmarks/results/history/`` with query/diff/regression helpers
+* :mod:`repro.exp.campaigns` — the paper's figure sweeps (Figs. 7-13) as
+  built-in grids, plus the CI ``campaign-smoke`` grid
+
+The CLI front ends are ``python -m repro sweep`` and ``python -m repro
+history``.
+"""
+
+from .campaigns import (BUILTIN_GRIDS, available_campaigns, builtin_grid,
+                        builtin_specs)
+from .registry import (DEFAULT_HISTORY_DIR, RunDiff, RunRecord, RunRegistry,
+                       git_metadata)
+from .runner import RunInterrupted, RunOutput, execute_run
+from .scheduler import (CampaignResult, RunOutcome, execute_and_record,
+                        run_campaign)
+from .spec import GridSpec, RunSpec, dedupe_specs, load_specs
+
+__all__ = [
+    "BUILTIN_GRIDS", "available_campaigns", "builtin_grid", "builtin_specs",
+    "DEFAULT_HISTORY_DIR", "RunDiff", "RunRecord", "RunRegistry",
+    "git_metadata", "RunInterrupted", "RunOutput", "execute_run",
+    "CampaignResult", "RunOutcome", "execute_and_record", "run_campaign",
+    "GridSpec", "RunSpec", "dedupe_specs", "load_specs",
+]

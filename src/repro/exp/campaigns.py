@@ -1,0 +1,134 @@
+"""Built-in campaign grids: the paper's figure sweeps as first-class specs.
+
+Each entry reproduces the *shape* of one paper campaign — which axes are
+swept and how (weak scaling zips system size with node count, strong scaling
+sweeps nodes at fixed physics, cost-vs-time sweeps the bond dimension) — at
+sizes a workstation executes in seconds, so ``python -m repro sweep --grid
+fig8-weak-scaling-spins`` archives a full, diffable mini-campaign of real
+DMRG runs with modelled distributed timings.  The grids are plain
+:class:`~repro.exp.spec.GridSpec` dicts: scaling any of them up to the
+paper's true sizes is a JSON edit, not code.
+
+``campaign-smoke`` is the CI grid (``make campaign-smoke``): a 2x2
+model-size x bond-dimension square, small enough to run with two workers on
+every ``make check``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .spec import GridSpec, RunSpec
+
+#: name -> grid dict (kept JSON-native so ``repro sweep --grid <name>``
+#: and grid files are interchangeable)
+BUILTIN_GRIDS: Dict[str, Dict[str, object]] = {
+    # CI smoke campaign: 2 chain lengths x 2 bond dimensions, direct backend
+    "campaign-smoke": {
+        "name": "campaign-smoke",
+        "base": {"model": "heisenberg-chain", "engine": "two-site",
+                 "backend": "direct", "maxdim": 16, "nsweeps": 2,
+                 "cutoff": 1e-10, "seed": 1},
+        "axes": {"params.n": [6, 8], "maxdim": [12, 16]},
+    },
+    # Fig. 7: where the modelled time goes, per backend and bond dimension
+    "fig7-time-breakdown": {
+        "name": "fig7-time-breakdown",
+        "base": {"model": "heisenberg-chain", "params": {"n": 12},
+                 "nsweeps": 4, "nodes": 4, "procs_per_node": 16,
+                 "machine": "blue-waters", "seed": 7},
+        "axes": {"backend": ["list", "sparse-dense", "sparse-sparse"],
+                 "maxdim": [16, 32]},
+    },
+    # Fig. 8: weak scaling, spins — the chain grows with the machine
+    "fig8-weak-scaling-spins": {
+        "name": "fig8-weak-scaling-spins",
+        "base": {"model": "heisenberg-chain", "backend": "list",
+                 "machine": "blue-waters", "procs_per_node": 16,
+                 "maxdim": 24, "nsweeps": 4, "seed": 8},
+        "zips": [{"params.n": [8, 16, 24], "nodes": [1, 4, 16]}],
+    },
+    # Fig. 9: strong scaling, spins — fixed physics, growing machine
+    "fig9-strong-scaling-spins": {
+        "name": "fig9-strong-scaling-spins",
+        "base": {"model": "heisenberg-chain", "params": {"n": 16},
+                 "backend": "list", "machine": "blue-waters",
+                 "procs_per_node": 16, "maxdim": 32, "nsweeps": 4,
+                 "seed": 9},
+        "axes": {"nodes": [1, 4, 16, 64]},
+    },
+    # Fig. 10: cost vs time, spins — sweep the bond dimension
+    "fig10-cost-time-spins": {
+        "name": "fig10-cost-time-spins",
+        "base": {"model": "heisenberg-chain", "params": {"n": 16},
+                 "backend": "sparse-dense", "machine": "blue-waters",
+                 "nodes": 4, "procs_per_node": 16, "nsweeps": 4,
+                 "seed": 10},
+        "axes": {"maxdim": [16, 32, 64]},
+    },
+    # Fig. 11: weak scaling, electrons (Hubbard chain on sparse-sparse)
+    "fig11-weak-scaling-electrons": {
+        "name": "fig11-weak-scaling-electrons",
+        "base": {"model": "hubbard-chain", "backend": "sparse-sparse",
+                 "machine": "stampede2", "procs_per_node": 16,
+                 "maxdim": 24, "nsweeps": 4, "seed": 11},
+        "zips": [{"params.n": [4, 6, 8], "nodes": [1, 4, 16]}],
+    },
+    # Fig. 12: strong scaling, electrons
+    "fig12-strong-scaling-electrons": {
+        "name": "fig12-strong-scaling-electrons",
+        "base": {"model": "hubbard-chain", "params": {"n": 6},
+                 "backend": "sparse-sparse", "machine": "stampede2",
+                 "procs_per_node": 16, "maxdim": 32, "nsweeps": 4,
+                 "seed": 12},
+        "axes": {"nodes": [1, 4, 16, 64]},
+    },
+    # Fig. 13: cost vs time, electrons — sweep the bond dimension
+    "fig13-cost-time-electrons": {
+        "name": "fig13-cost-time-electrons",
+        "base": {"model": "hubbard-chain", "params": {"n": 6},
+                 "backend": "sparse-sparse", "machine": "stampede2",
+                 "nodes": 4, "procs_per_node": 16, "nsweeps": 4,
+                 "seed": 13},
+        "axes": {"maxdim": [16, 32, 64]},
+    },
+    # backend ablation on one fixed problem (all four backends, one machine)
+    "backend-ablation": {
+        "name": "backend-ablation",
+        "base": {"model": "heisenberg-chain", "params": {"n": 12},
+                 "machine": "blue-waters", "nodes": 2,
+                 "procs_per_node": 16, "maxdim": 24, "nsweeps": 4,
+                 "seed": 14},
+        "axes": {"backend": ["direct", "list", "sparse-dense",
+                             "sparse-sparse"]},
+    },
+}
+
+
+def available_campaigns() -> Dict[str, str]:
+    """Mapping of built-in grid names to a one-line axis description."""
+    out: Dict[str, str] = {}
+    for name, data in sorted(BUILTIN_GRIDS.items()):
+        grid = GridSpec.from_dict(data)
+        axes = [f"{k}x{len(v)}" for k, v in sorted(grid.axes.items())]
+        axes += ["zip(" + ",".join(sorted(g)) + f")x{len(next(iter(g.values())))}"
+                 for g in grid.zips]
+        n = len(grid.expand())
+        out[name] = f"{n} runs over {' '.join(axes) if axes else 'one point'}"
+    return out
+
+
+def builtin_grid(name: str) -> GridSpec:
+    """Look up a built-in campaign grid by name."""
+    try:
+        return GridSpec.from_dict(BUILTIN_GRIDS[name])
+    except KeyError:
+        known = ", ".join(sorted(BUILTIN_GRIDS))
+        raise KeyError(f"unknown campaign {name!r}; built-in campaigns: "
+                       f"{known}") from None
+
+
+def builtin_specs(name: str) -> Tuple[str, List[RunSpec]]:
+    """``(campaign name, expanded run specs)`` of a built-in grid."""
+    grid = builtin_grid(name)
+    return grid.name, grid.expand()

@@ -1,0 +1,273 @@
+"""Parallel sweep scheduler: execute a grid of runs on a local process pool.
+
+The scheduler turns a list of :class:`~repro.exp.spec.RunSpec` into registry
+records with three guarantees a long campaign needs:
+
+* **Failure isolation** — every run executes in its own worker process; a
+  run that raises (or dies outright) produces a ``failed`` record and the
+  campaign moves on.  One diverging run cannot kill the grid.
+* **Per-run timeouts** — a worker that exceeds ``timeout`` seconds is
+  terminated and recorded as ``timeout``; its on-disk checkpoint (if any)
+  survives for the next attempt to resume from.
+* **Automatic resume** — a spec whose content-hash run id already has a
+  completed record is *skipped* (re-running a campaign is idempotent), and
+  an interrupted run restarts from its ``dmrg/checkpoint.py`` checkpoint in
+  the registry's record directory rather than from sweep zero.
+
+``workers=0`` runs everything inline in the calling process (deterministic,
+coverage-friendly; no timeout support) — the scheduling policy is identical.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .registry import RunRegistry
+from .runner import RunInterrupted, execute_run
+from .spec import RunSpec, dedupe_specs
+
+#: worker exit codes (anything else means the worker crashed unrecorded)
+_EXIT_COMPLETED = 0
+_EXIT_FAILED = 3
+_EXIT_INTERRUPTED = 4
+
+
+@dataclass
+class RunOutcome:
+    """What the scheduler decided/observed about one spec."""
+
+    run_id: str
+    summary: str
+    status: str               # completed | skipped | failed | timeout | interrupted
+    seconds: float = 0.0
+    error: Optional[str] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"run_id": self.run_id, "summary": self.summary,
+                "status": self.status, "seconds": self.seconds,
+                "error": self.error}
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of one scheduler invocation over a grid."""
+
+    name: str
+    outcomes: List[RunOutcome] = field(default_factory=list)
+    seconds: float = 0.0
+
+    def count(self, status: str) -> int:
+        return sum(1 for o in self.outcomes if o.status == status)
+
+    @property
+    def completed(self) -> int:
+        return self.count("completed")
+
+    @property
+    def skipped(self) -> int:
+        return self.count("skipped")
+
+    @property
+    def failed(self) -> int:
+        return self.count("failed") + self.count("timeout") \
+            + self.count("interrupted")
+
+    @property
+    def ok(self) -> bool:
+        """Every run either completed now or was already archived."""
+        return self.failed == 0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"name": self.name, "seconds": self.seconds,
+                "completed": self.completed, "skipped": self.skipped,
+                "failed": self.failed, "ok": self.ok,
+                "outcomes": [o.as_dict() for o in self.outcomes]}
+
+
+def _checkpoint_for(spec: RunSpec, registry: RunRegistry,
+                    use_checkpoints: bool):
+    """The run's registry checkpoint path (``None`` when unsupported)."""
+    if not use_checkpoints or spec.engine == "excited":
+        return None
+    return registry.checkpoint_path(spec.run_id)
+
+
+def execute_and_record(spec: RunSpec, registry: RunRegistry, *,
+                       use_checkpoints: bool = True,
+                       interrupt_after_sweeps: int | None = None
+                       ) -> RunOutcome:
+    """Execute one spec and append its registry record (any outcome).
+
+    This is the body of every scheduler worker, exposed for inline mode and
+    the tests; an existing checkpoint of the same run id is always resumed.
+    """
+    t0 = time.perf_counter()
+    ckpt = _checkpoint_for(spec, registry, use_checkpoints)
+    try:
+        out = execute_run(spec, checkpoint_path=ckpt,
+                          resume=ckpt is not None,
+                          interrupt_after_sweeps=interrupt_after_sweeps)
+    except RunInterrupted as exc:
+        dt = time.perf_counter() - t0
+        registry.write(spec, status="interrupted", error=str(exc), seconds=dt)
+        return RunOutcome(spec.run_id, spec.summary(), "interrupted", dt,
+                          str(exc))
+    except Exception as exc:  # noqa: BLE001 - isolation is the contract
+        dt = time.perf_counter() - t0
+        message = f"{type(exc).__name__}: {exc}"
+        registry.write(spec, status="failed", error=message, seconds=dt)
+        return RunOutcome(spec.run_id, spec.summary(), "failed", dt, message)
+    registry.write(spec, status="completed", report=out.report,
+                   seconds=out.seconds,
+                   extra_meta={"resumed_sweeps": out.resumed_sweeps})
+    return RunOutcome(spec.run_id, spec.summary(), "completed",
+                      out.seconds, None)
+
+
+def _worker_main(spec_dict: Dict[str, object], registry_root: str,
+                 use_checkpoints: bool) -> None:
+    """Entry point of one scheduler worker process."""
+    spec = RunSpec.from_dict(spec_dict)
+    registry = RunRegistry(registry_root)
+    outcome = execute_and_record(spec, registry,
+                                 use_checkpoints=use_checkpoints)
+    if outcome.status == "completed":
+        raise SystemExit(_EXIT_COMPLETED)
+    if outcome.status == "interrupted":
+        raise SystemExit(_EXIT_INTERRUPTED)
+    raise SystemExit(_EXIT_FAILED)
+
+
+@dataclass
+class _Active:
+    spec: RunSpec
+    process: mp.process.BaseProcess
+    started: float        # perf_counter, for elapsed/timeout accounting
+    wall_started: float   # time.time, comparable to record created_unix
+
+
+def run_campaign(specs: Sequence[RunSpec], *,
+                 registry: Optional[RunRegistry] = None,
+                 name: str = "campaign", workers: int = 2,
+                 timeout: Optional[float] = None, force: bool = False,
+                 use_checkpoints: bool = True,
+                 progress: Optional[Callable[[RunOutcome], None]] = None,
+                 poll_interval: float = 0.05) -> CampaignResult:
+    """Schedule a grid of runs onto a local process pool.
+
+    Parameters
+    ----------
+    specs:
+        The grid's runs (duplicate run ids are collapsed).
+    registry:
+        Destination store; defaults to ``benchmarks/results/history``.
+    workers:
+        Concurrent worker processes; ``0`` executes inline in this process.
+    timeout:
+        Per-run wall-clock limit in seconds (pool mode only).
+    force:
+        Re-execute specs that already have a completed record instead of
+        skipping them (the new attempt is appended, never overwritten).
+    use_checkpoints:
+        Keep a per-sweep checkpoint in each record directory so interrupted
+        runs resume mid-schedule on the next campaign invocation.
+    progress:
+        Called with each :class:`RunOutcome` as it is decided.
+    """
+    registry = registry if registry is not None else RunRegistry()
+    t0 = time.perf_counter()
+    campaign = CampaignResult(name=name)
+
+    def _emit(outcome: RunOutcome) -> None:
+        campaign.outcomes.append(outcome)
+        if progress is not None:
+            progress(outcome)
+
+    pending: List[RunSpec] = []
+    for spec in dedupe_specs(specs):
+        if not force and registry.has_completed(spec.run_id):
+            _emit(RunOutcome(spec.run_id, spec.summary(), "skipped"))
+        else:
+            pending.append(spec)
+
+    if workers <= 0:
+        for spec in pending:
+            _emit(execute_and_record(spec, registry,
+                                     use_checkpoints=use_checkpoints))
+        campaign.seconds = time.perf_counter() - t0
+        return campaign
+
+    methods = mp.get_all_start_methods()
+    ctx = mp.get_context("fork" if "fork" in methods else "spawn")
+    queue = list(pending)
+    active: List[_Active] = []
+    while queue or active:
+        while queue and len(active) < workers:
+            spec = queue.pop(0)
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(spec.to_dict(), str(registry.root), use_checkpoints),
+                daemon=False)
+            proc.start()
+            active.append(_Active(spec, proc, time.perf_counter(),
+                                  time.time()))
+        still_active: List[_Active] = []
+        for entry in active:
+            proc, spec = entry.process, entry.spec
+            elapsed = time.perf_counter() - entry.started
+            if proc.is_alive():
+                if timeout is not None and elapsed > timeout:
+                    proc.terminate()
+                    proc.join(5.0)
+                    if proc.is_alive():  # pragma: no cover - stuck worker
+                        proc.kill()
+                        proc.join(5.0)
+                    # the worker may have finished (and recorded) right at
+                    # the boundary, with the SIGTERM landing after its
+                    # registry write: believe the record, not the signal
+                    rec = registry.latest(spec.run_id)
+                    if rec is not None and (float(rec.meta.get(
+                            "created_unix", 0.0)) >= entry.wall_started):
+                        _emit(RunOutcome(spec.run_id, spec.summary(),
+                                         "completed", elapsed))
+                        continue
+                    error = f"timed out after {timeout:.1f} s"
+                    registry.write(spec, status="timeout", error=error,
+                                   seconds=elapsed)
+                    _emit(RunOutcome(spec.run_id, spec.summary(), "timeout",
+                                     elapsed, error))
+                else:
+                    still_active.append(entry)
+                continue
+            proc.join()
+            code = proc.exitcode
+            if code == _EXIT_COMPLETED:
+                _emit(RunOutcome(spec.run_id, spec.summary(), "completed",
+                                 elapsed))
+            elif code in (_EXIT_FAILED, _EXIT_INTERRUPTED):
+                # the worker recorded its own failure; surface its message
+                rec = None
+                try:
+                    rec = registry.load(spec.run_id)
+                except KeyError:  # pragma: no cover - record write raced
+                    pass
+                status = "interrupted" if code == _EXIT_INTERRUPTED \
+                    else "failed"
+                error = rec.meta.get("error") if rec is not None else None
+                _emit(RunOutcome(spec.run_id, spec.summary(), status,
+                                 elapsed, error))
+            else:
+                # hard crash (segfault, kill) before a record was written
+                error = f"worker exited with code {code}"
+                registry.write(spec, status="failed", error=error,
+                               seconds=elapsed)
+                _emit(RunOutcome(spec.run_id, spec.summary(), "failed",
+                                 elapsed, error))
+        active = still_active
+        if active:
+            time.sleep(poll_interval)
+    campaign.seconds = time.perf_counter() - t0
+    return campaign

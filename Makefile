@@ -1,8 +1,11 @@
 # Development entry points for the SC'20 distributed-DMRG reproduction.
 #
-#   make check          - everything CI runs: tests + docstring gate +
-#                         bench smoke + campaign smoke
+#   make check          - everything CI runs: tests + threaded-kernel smoke +
+#                         docstring gate + bench smoke + campaign smoke
 #   make test           - tier-1 test suite (pytest, stops at first failure)
+#   make test-threaded  - tier-1 smoke subset re-run with the threaded
+#                         block-ops kernels (REPRO_BLOCK_OPS=threaded), so
+#                         the thread-pool executor is exercised end to end
 #   make doccheck       - docstring-presence gate over the public ctf/ surface
 #   make bench-smoke    - measured benchmarks at tiny sizes + plan-aware
 #                         cost-model invariants (python -m repro bench --smoke);
@@ -15,12 +18,17 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check test doccheck bench-smoke campaign-smoke bench
+.PHONY: check test test-threaded doccheck bench-smoke campaign-smoke bench
 
-check: test doccheck bench-smoke campaign-smoke
+check: test test-threaded doccheck bench-smoke campaign-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+test-threaded:
+	REPRO_BLOCK_OPS=threaded $(PYTHON) -m pytest -x -q \
+		tests/test_blockops.py tests/test_matvec.py tests/test_dmrg.py \
+		tests/test_backends.py
 
 doccheck:
 	$(PYTHON) tools/check_docstrings.py src/repro/ctf

@@ -32,6 +32,7 @@ from typing import Optional, Sequence
 
 from ..symmetry import BlockSparseTensor
 from ..symmetry import linalg as blocklinalg
+from ..symmetry.blockops import BlockOps, resolve_block_ops
 from ..symmetry.engine import contract_planned
 from ..symmetry.matvec import MatvecCounters, StageCharge, WorkspaceArena
 from ..symmetry.planner import PlanCache
@@ -43,7 +44,11 @@ class ContractionBackend(ABC):
     #: short identifier ("direct", "list", "sparse-dense", "sparse-sparse")
     name: str = "abstract"
 
-    def __init__(self) -> None:
+    def __init__(self, block_ops=None) -> None:
+        #: the numerical kernels every contraction and factorization of this
+        #: backend runs through (``None`` → ``$REPRO_BLOCK_OPS`` or numpy);
+        #: plans, flops and modelled charges are independent of this choice
+        self.block_ops: BlockOps = resolve_block_ops(block_ops)
         #: memoized contraction plans, shared by every contraction this
         #: backend performs; ``None`` disables planning (naive Algorithm 2)
         self.plan_cache: Optional[PlanCache] = PlanCache()
@@ -128,11 +133,13 @@ class ContractionBackend(ABC):
             col_axes: Sequence[int] | None = None, **kwargs):
         """Truncated block SVD (the paper always performs SVD block-wise,
         via the list format, regardless of contraction algorithm)."""
+        kwargs.setdefault("ops", self.block_ops)
         return blocklinalg.svd(t, row_axes, col_axes, **kwargs)
 
     def qr(self, t: BlockSparseTensor, row_axes: Sequence[int],
            col_axes: Sequence[int] | None = None, **kwargs):
         """Block QR factorization."""
+        kwargs.setdefault("ops", self.block_ops)
         return blocklinalg.qr(t, row_axes, col_axes, **kwargs)
 
     def synchronize(self) -> None:
@@ -152,8 +159,8 @@ class DirectBackend(ContractionBackend):
 
     name = "direct"
 
-    def __init__(self, use_planner: bool = True):
-        super().__init__()
+    def __init__(self, use_planner: bool = True, block_ops=None):
+        super().__init__(block_ops=block_ops)
         if not use_planner:
             self.plan_cache = None
 
@@ -162,4 +169,5 @@ class DirectBackend(ContractionBackend):
                  operand_keys: tuple | None = None,
                  out_key: str | None = None) -> BlockSparseTensor:
         """Contract locally through the planner (no cost model attached)."""
-        return contract_planned(a, b, axes, cache=self.plan_cache)
+        return contract_planned(a, b, axes, cache=self.plan_cache,
+                                ops=self.block_ops)

@@ -40,8 +40,8 @@ class ListBackend(ContractionBackend):
 
     name = "list"
 
-    def __init__(self, world: SimWorld):
-        super().__init__()
+    def __init__(self, world: SimWorld, block_ops=None):
+        super().__init__(block_ops=block_ops)
         self.world = world
         #: how many pair contractions ran under each mapping algorithm
         self.mapping_counts: Counter = Counter()
@@ -70,7 +70,8 @@ class ListBackend(ContractionBackend):
                 num_blocks=plan.npairs,
                 largest_block_share=plan.largest_pair_share,
                 mapping=decision)
-        return execute_cached(plan, a, b, self.plan_cache)
+        return execute_cached(plan, a, b, self.plan_cache,
+                              ops=self.block_ops)
 
     def charge_compiled_stage(self, stage: StageCharge) -> None:
         """Per-pair charges of one compiled stage — identical to contract."""

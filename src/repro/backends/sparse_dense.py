@@ -28,8 +28,8 @@ class SparseDenseBackend(ContractionBackend):
     #: intermediate (order-4 two-site tensors and order-5 partial products)
     dense_intermediate_order: int = 4
 
-    def __init__(self, world: SimWorld):
-        super().__init__()
+    def __init__(self, world: SimWorld, block_ops=None):
+        super().__init__(block_ops=block_ops)
         self.world = world
 
     def _is_davidson_intermediate(self, t: BlockSparseTensor) -> bool:
@@ -42,7 +42,8 @@ class SparseDenseBackend(ContractionBackend):
         """Contract; dense pricing for Davidson intermediates, else planned."""
         # exact numerics through the planned block layer
         plan = plan_for(a, b, axes, self.plan_cache)
-        result = execute_cached(plan, a, b, self.plan_cache)
+        result = execute_cached(plan, a, b, self.plan_cache,
+                                ops=self.block_ops)
         self._last_plan = plan
 
         if isinstance(result, BlockSparseTensor):

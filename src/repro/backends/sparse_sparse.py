@@ -31,8 +31,8 @@ class SparseSparseBackend(ContractionBackend):
     name = "sparse-sparse"
 
     def __init__(self, world: SimWorld, *, execute_sparse: bool = False,
-                 sparse_execution_limit: int = 200_000):
-        super().__init__()
+                 sparse_execution_limit: int = 200_000, block_ops=None):
+        super().__init__(block_ops=block_ops)
         self.world = world
         #: when set, contractions below the size limit run through the real
         #: scipy.sparse matricized-multiply path instead of the block loop
@@ -77,7 +77,8 @@ class SparseSparseBackend(ContractionBackend):
         # block-pair structure is what the plan-aware cost model prices
         # (block-aligned communication volumes instead of aggregate nnz)
         plan = plan_for(a, b, axes, self.plan_cache)
-        result = execute_cached(plan, a, b, self.plan_cache)
+        result = execute_cached(plan, a, b, self.plan_cache,
+                                ops=self.block_ops)
         self._last_plan = plan
         # operand_nnz makes the world charge the operands' remapping onto the
         # contraction grid first (plan-aware volumes, capped at stored nnz);
@@ -125,20 +126,26 @@ class SparseSparseBackend(ContractionBackend):
         return result
 
 
-def make_backend(name: str, world: SimWorld | None = None, **kwargs):
-    """Factory: ``"direct"``, ``"list"``, ``"sparse-dense"`` or ``"sparse-sparse"``."""
+def make_backend(name: str, world: SimWorld | None = None, *,
+                 block_ops=None, **kwargs):
+    """Factory: ``"direct"``, ``"list"``, ``"sparse-dense"`` or ``"sparse-sparse"``.
+
+    ``block_ops`` selects the numerical kernels (``None`` → process default,
+    a name like ``"threaded"``, or a :class:`~repro.symmetry.blockops.BlockOps`
+    instance); the modelled costs are identical for every choice.
+    """
     from .base import DirectBackend
     from .list_backend import ListBackend
     from .sparse_dense import SparseDenseBackend
 
     if name == "direct":
-        return DirectBackend()
+        return DirectBackend(block_ops=block_ops, **kwargs)
     if world is None:
         raise ValueError(f"backend {name!r} requires a SimWorld")
     if name == "list":
-        return ListBackend(world)
+        return ListBackend(world, block_ops=block_ops)
     if name == "sparse-dense":
-        return SparseDenseBackend(world)
+        return SparseDenseBackend(world, block_ops=block_ops)
     if name == "sparse-sparse":
-        return SparseSparseBackend(world, **kwargs)
+        return SparseSparseBackend(world, block_ops=block_ops, **kwargs)
     raise ValueError(f"unknown backend {name!r}")

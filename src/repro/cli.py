@@ -30,7 +30,10 @@ The subcommands cover the everyday workflows:
 ``python -m repro bench --smoke [--json BENCH_smoke.json]``
     Benchmark smoke target: exercise the measured benchmarks — the
     plan-cache/fused-GEMM comparison, the compiled-matvec comparison
-    (``matvec`` target) and the micro-kernel suite — at tiny sizes, and
+    (``matvec`` target), the block-ops kernel comparison (``blockops``
+    target: threaded vs numpy wall-clock, bit-identical modelled costs,
+    mixed-precision energy agreement) and the micro-kernel suite — at tiny
+    sizes, and
     assert the modelled-cost invariants: the plan-aware model's (equal to
     the aggregate model on a dense block, never worse on block-sparse
     structure, ``plan-cost`` target) and the sweep-persistent layout
@@ -106,6 +109,8 @@ def _spec_from_args(args: argparse.Namespace):
         "seed": args.seed,
         "initial_state": args.initial_state,
         "initial_bond_dim": args.initial_bond_dim,
+        "block_ops": args.block_ops,
+        "mixed_precision": args.mixed_precision,
         "observables": args.measure or [],
     })
 
@@ -310,6 +315,34 @@ def cmd_bench(args: argparse.Namespace) -> int:
                   f"(|dE| = {stats['dmrg_energy_delta']:.3e}, plan stats "
                   f"equal: {stats['plan_stats_equal']})", file=sys.stderr)
             rc = 1
+    if args.target in ("all", "blockops"):
+        from .perf.blockops_bench import (format_blockops_benchmark,
+                                          run_blockops_benchmark)
+        if args.full:
+            stats = run_blockops_benchmark()
+        else:
+            stats = run_blockops_benchmark(nsites=12, maxdim=16, repeats=5,
+                                           dmrg_nsites=8, dmrg_maxdim=16,
+                                           dmrg_nsweeps=4)
+        print(format_blockops_benchmark(stats))
+        emitted["blockops"] = stats
+        if (stats["matvec_delta_norm"] > 1e-10
+                or stats["dmrg_energy_delta"] > 1e-10
+                or not stats["modelled_seconds_equal"]
+                or not stats["layout_tracker_equal"]
+                or stats["mixed_energy_delta"] > 1e-8):
+            print("error: block-ops implementations diverged "
+                  f"(|matvec delta| = {stats['matvec_delta_norm']:.3e}, "
+                  f"|dE| = {stats['dmrg_energy_delta']:.3e}, modelled equal: "
+                  f"{stats['modelled_seconds_equal']}, tracker equal: "
+                  f"{stats['layout_tracker_equal']}, |mixed dE| = "
+                  f"{stats['mixed_energy_delta']:.3e})", file=sys.stderr)
+            rc = 1
+        if stats["multicore"] and stats["speedup"] < 1.3 and args.full:
+            print("error: threaded kernels below the 1.3x bar on a "
+                  f"multi-core host ({stats['speedup']:.2f}x on "
+                  f"{stats['cores']} cores)", file=sys.stderr)
+            rc = 1
     if args.target in ("all", "micro-kernels"):
         import importlib.util
         import pathlib
@@ -394,6 +427,14 @@ def build_parser() -> argparse.ArgumentParser:
                             "seeded random block-sparse MPS")
     p_run.add_argument("--initial-bond-dim", type=int, default=8,
                        help="bond dimension of --initial-state random")
+    p_run.add_argument("--block-ops", default="numpy",
+                       choices=["numpy", "threaded"],
+                       help="numerical kernel implementation the backend "
+                            "executes through; modelled costs are identical "
+                            "for every choice")
+    p_run.add_argument("--mixed-precision", action="store_true",
+                       help="float32 Davidson warm-up for the first half of "
+                            "the sweep schedule, float64 polish after")
     p_run.add_argument("--checkpoint", default=None, metavar="PATH",
                        help="write a resumable checkpoint here after every "
                             "sweep (two-site / single-site engines)")
@@ -459,7 +500,7 @@ def build_parser() -> argparse.ArgumentParser:
         "bench", help="run benchmark smoke targets (tiny sizes)")
     p_bench.add_argument("--target", default="all",
                          choices=["all", "plan-cost", "layout", "plan-cache",
-                                  "matvec", "micro-kernels"])
+                                  "matvec", "blockops", "micro-kernels"])
     p_bench.add_argument("--json", default=None, metavar="PATH",
                          help="write every target's machine-readable metrics "
                               "to this JSON artifact (e.g. BENCH_smoke.json)")

@@ -14,33 +14,43 @@ from typing import Tuple
 import numpy as np
 
 from ..perf import flops as flopcount
+from ..symmetry.blockops import resolve_block_ops
 from .dense_tensor import DistTensor
 from .world import SimWorld
 
 
 def distributed_svd(matrix: np.ndarray, world: SimWorld,
-                    full_matrices: bool = False
+                    full_matrices: bool = False, ops=None
                     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """SVD of a (conceptually block-cyclic) distributed matrix."""
-    u, s, vh = np.linalg.svd(matrix, full_matrices=full_matrices)
+    """SVD of a (conceptually block-cyclic) distributed matrix.
+
+    The factorization itself runs through the shared block-ops kernel
+    (:meth:`repro.symmetry.blockops.BlockOps.svd`), so robustness fallbacks
+    and precision knobs live in one place for the block-sparse and the
+    distributed-dense paths alike.
+    """
+    if full_matrices:
+        u, s, vh = np.linalg.svd(matrix, full_matrices=True)
+    else:
+        u, s, vh = resolve_block_ops(ops).svd(matrix)
     flopcount.add_flops(flopcount.svd_flops(*matrix.shape), "svd")
     world.charge_svd(*matrix.shape)
     return u, s, vh
 
 
-def distributed_qr(matrix: np.ndarray, world: SimWorld
-                   ) -> Tuple[np.ndarray, np.ndarray]:
+def distributed_qr(matrix: np.ndarray, world: SimWorld,
+                   ops=None) -> Tuple[np.ndarray, np.ndarray]:
     """QR of a distributed matrix (``pdgeqrf`` model)."""
-    q, r = np.linalg.qr(matrix, mode="reduced")
+    q, r = resolve_block_ops(ops).qr(matrix)
     flopcount.add_flops(flopcount.qr_flops(*matrix.shape), "svd")
     world.charge_svd(*matrix.shape)
     return q, r
 
 
-def distributed_eigh(matrix: np.ndarray, world: SimWorld
-                     ) -> Tuple[np.ndarray, np.ndarray]:
+def distributed_eigh(matrix: np.ndarray, world: SimWorld,
+                     ops=None) -> Tuple[np.ndarray, np.ndarray]:
     """Hermitian eigendecomposition of a distributed matrix (``pdsyevd`` model)."""
-    evals, evecs = np.linalg.eigh(matrix)
+    evals, evecs = resolve_block_ops(ops).eigh(matrix)
     n = matrix.shape[0]
     flopcount.add_flops(9.0 * n ** 3, "svd")
     world.charge_svd(n, n)

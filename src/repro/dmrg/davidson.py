@@ -30,6 +30,19 @@ class DavidsonResult:
     residual_norm: float
 
 
+def _subspace_dtype(dtype: np.dtype) -> np.dtype:
+    """Working dtype of the Davidson subspace matrix.
+
+    The subspace problem is tiny but solved every iteration; real tensors
+    get a real symmetric matrix (``inner`` returns real scalars for them)
+    instead of paying complex128 algebra unconditionally.  Reduced-precision
+    inputs still accumulate the subspace in double precision — the Gram
+    matrix conditioning, not the matvec, limits accuracy there.
+    """
+    return np.dtype(np.complex128 if np.dtype(dtype).kind == "c"
+                    else np.float64)
+
+
 def _randomize_like(x: BlockSparseTensor,
                     rng: np.random.Generator) -> BlockSparseTensor:
     """A random tensor with the same block structure (and dtype) as ``x``."""
@@ -95,7 +108,7 @@ def davidson(apply_h: Callable[[BlockSparseTensor], BlockSparseTensor],
 
     # subspace matrix  m_ij = <v_i | H | v_j>
     msize = max_subspace + 1
-    m = np.zeros((msize, msize), dtype=np.complex128)
+    m = np.zeros((msize, msize), dtype=_subspace_dtype(x0.dtype))
     m[0, 0] = basis[0].inner(h_basis[0])
     ndot += 1
 
@@ -112,6 +125,11 @@ def davidson(apply_h: Callable[[BlockSparseTensor], BlockSparseTensor],
         evals, evecs = np.linalg.eigh((mk + mk.conj().T) / 2.0)
         lam = float(evals[0])
         s = evecs[:, 0]
+        if basis[0].dtype in (np.dtype(np.float32), np.dtype(np.complex64)):
+            # keep reduced-precision basis vectors in their dtype: a float64
+            # Ritz coefficient would silently promote every linear
+            # combination back to double (NEP 50 scalar promotion)
+            s = s.astype(basis[0].dtype)
 
         # Ritz vector and residual q = (H - lam) x
         x = basis[0] * s[0]

@@ -35,6 +35,7 @@ from .config import (DMRGConfig, DMRGResult, LayoutStatsRecorder,
                      PlanStatsRecorder, SiteRecord, SweepRecord, Sweeps)
 from .davidson import davidson
 from .environments import EnvironmentCache
+from .sweep import PrecisionSchedule
 
 
 @dataclass
@@ -189,6 +190,8 @@ def single_site_dmrg(operator: MPO, psi0: MPS, config: DMRGConfig, *,
         raise ValueError("DMRG needs at least two sites")
     psi.canonicalize(0)
     psi.normalize()
+    precision = PrecisionSchedule(config, backend)
+    precision.begin()
     envs = EnvironmentCache(psi, operator, backend)
 
     result = DMRGResult(energy=np.inf)
@@ -197,6 +200,7 @@ def single_site_dmrg(operator: MPO, psi0: MPS, config: DMRGConfig, *,
     layout_stats = LayoutStatsRecorder(backend)
 
     for sweep_id in range(nsweeps):
+        precision.start_sweep(sweep_id, psi, envs)
         maxdim = config.sweeps.maxdims[sweep_id]
         cutoff = config.sweeps.cutoffs[sweep_id]
         dav_iters = config.sweeps.davidson_iterations[sweep_id]
@@ -322,6 +326,7 @@ def single_site_dmrg(operator: MPO, psi0: MPS, config: DMRGConfig, *,
             break
         last_energy = sweep_energy
 
+    precision.finish(psi, envs)
     plan_stats.finalize(result)
     layout_stats.finalize(result)
     psi.normalize()

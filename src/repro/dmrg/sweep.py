@@ -21,11 +21,60 @@ from ..mps.mpo import MPO
 from ..mps.mps import MPS
 from ..perf import flops as flopcount
 from ..symmetry import BlockSparseTensor
+from ..symmetry.blockops import MixedPrecisionOps
 from ..symmetry.matvec import MatvecCompiler, MatvecStage
 from .config import (DMRGConfig, DMRGResult, LayoutStatsRecorder,
                      PlanStatsRecorder, SiteRecord, Sweeps, SweepRecord)
 from .davidson import davidson
 from .environments import EnvironmentCache, extend_left, extend_right
+
+
+class PrecisionSchedule:
+    """Mixed-precision warm-up state machine shared by the sweep drivers.
+
+    When ``config.warmup_dtype`` is set, the backend's block ops are wrapped
+    in a :class:`~repro.symmetry.blockops.MixedPrecisionOps` *before* the
+    environments are first built, so the leading ``warmup_sweeps`` sweeps run
+    every contraction and factorization in the reduced dtype.  At the
+    transition the base ops are restored, the state is upcast and the cached
+    environments are dropped so the polish sweeps rebuild them at full
+    precision.  The modelled costs are unaffected either way — only the
+    arithmetic dtype changes.
+    """
+
+    def __init__(self, config: DMRGConfig, backend: ContractionBackend):
+        self.backend = backend
+        self.base_ops = backend.block_ops
+        self.warmup_sweeps = 0
+        self.active = False
+        if config.warmup_dtype is not None and config.warmup_sweeps > 0:
+            compute = np.dtype(config.warmup_dtype)
+            if compute != np.dtype(np.float64):
+                self.warmup_ops = MixedPrecisionOps(self.base_ops, compute)
+                self.warmup_sweeps = int(config.warmup_sweeps)
+
+    def begin(self) -> None:
+        """Install the warm-up ops (call before environments are built)."""
+        if self.warmup_sweeps > 0:
+            self.backend.block_ops = self.warmup_ops
+            self.active = True
+
+    def start_sweep(self, sweep_id: int, psi: MPS,
+                    envs: EnvironmentCache) -> None:
+        """Execute the warm-up → polish transition when its sweep arrives."""
+        if self.active and sweep_id >= self.warmup_sweeps:
+            self._restore(psi, envs)
+
+    def finish(self, psi: MPS, envs: EnvironmentCache) -> None:
+        """Restore full precision unconditionally (end of run, early stop)."""
+        if self.active:
+            self._restore(psi, envs)
+
+    def _restore(self, psi: MPS, envs: EnvironmentCache) -> None:
+        self.backend.block_ops = self.base_ops
+        psi.astype(np.float64)
+        envs.invalidate_all()
+        self.active = False
 
 
 @dataclass
@@ -135,6 +184,8 @@ def dmrg(operator: MPO, psi0: MPS, config: DMRGConfig, *,
         raise ValueError("DMRG needs at least two sites")
     psi.canonicalize(0)
     psi.normalize()
+    precision = PrecisionSchedule(config, backend)
+    precision.begin()
     envs = EnvironmentCache(psi, operator, backend)
 
     result = DMRGResult(energy=np.inf)
@@ -143,6 +194,7 @@ def dmrg(operator: MPO, psi0: MPS, config: DMRGConfig, *,
     layout_stats = LayoutStatsRecorder(backend)
 
     for sweep_id in range(len(config.sweeps)):
+        precision.start_sweep(sweep_id, psi, envs)
         maxdim = config.sweeps.maxdims[sweep_id]
         cutoff = config.sweeps.cutoffs[sweep_id]
         dav_iters = config.sweeps.davidson_iterations[sweep_id]
@@ -254,6 +306,7 @@ def dmrg(operator: MPO, psi0: MPS, config: DMRGConfig, *,
             break
         last_energy = sweep_energy
 
+    precision.finish(psi, envs)
     plan_stats.finalize(result)
     layout_stats.finalize(result)
     return result, psi

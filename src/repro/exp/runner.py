@@ -74,7 +74,7 @@ def build_schedule(spec: RunSpec) -> Sweeps:
 def build_backend(spec: RunSpec):
     """``(backend, world)`` for the spec's backend/machine shape."""
     if spec.backend == "direct":
-        return make_backend("direct", None), None
+        return make_backend("direct", None, block_ops=spec.block_ops), None
     try:
         machine = MACHINES[spec.machine]
     except KeyError:
@@ -82,7 +82,7 @@ def build_backend(spec: RunSpec):
                          f"choose from {sorted(MACHINES)}") from None
     world = SimWorld(nodes=spec.nodes, procs_per_node=spec.procs_per_node,
                      machine=machine)
-    return make_backend(spec.backend, world), world
+    return make_backend(spec.backend, world, block_ops=spec.block_ops), world
 
 
 def build_initial_state(spec: RunSpec, sites, config_state,
@@ -177,7 +177,11 @@ def execute_run(spec: RunSpec, *, checkpoint_path: str | Path | None = None,
                     f"interrupted after sweep {done}/{len(full_schedule)}")
 
     config = DMRGConfig(sweeps=schedule, compile_matvec=spec.compile_matvec,
-                        sweep_hook=sweep_hook, verbose=verbose)
+                        sweep_hook=sweep_hook, verbose=verbose,
+                        warmup_dtype="float32" if spec.mixed_precision
+                        else None,
+                        warmup_sweeps=(spec.nsweeps // 2)
+                        if spec.mixed_precision else 0)
 
     result: Optional[DMRGResult] = None
     if len(schedule) == 0:
@@ -265,4 +269,7 @@ def build_report(spec: RunSpec, result: Optional[DMRGResult], psi: MPS,
         report["modelled_seconds"] = world.profiler.total_seconds()
         report["layout_tracker"] = world.layout_tracker.snapshot()
     report["matvec_compiler"] = backend.matvec_counters.snapshot()
+    report["block_ops"] = backend.block_ops.describe()
+    if spec.mixed_precision:
+        report["mixed_precision"] = True
     return report

@@ -38,6 +38,7 @@ ENGINES = ("two-site", "single-site", "excited")
 BACKENDS = ("direct", "list", "sparse-dense", "sparse-sparse")
 SCHEDULES = ("ramp", "fixed")
 INITIAL_STATES = ("product", "random")
+BLOCK_OPS_CHOICES = ("numpy", "threaded")
 
 #: int-valued spec fields (coerced on load so ``64`` and ``64.0`` hash equal)
 _INT_FIELDS = ("nodes", "procs_per_node", "maxdim", "nsweeps", "nstates",
@@ -70,6 +71,13 @@ class RunSpec:
     initial_state: str = "product"
     initial_bond_dim: int = 8
     compile_matvec: bool = True
+    #: numerical kernels the run's backend executes through ("numpy" or
+    #: "threaded"); modelled costs are identical for every choice, so this is
+    #: an engine field campaigns can grid over for wall-clock comparisons
+    block_ops: str = "numpy"
+    #: float32 Davidson warm-up for the first half of the schedule, float64
+    #: polish for the rest (``DMRGConfig.warmup_dtype``/``warmup_sweeps``)
+    mixed_precision: bool = False
     observables: Tuple[str, ...] = ()
     #: free-form human tag for grid files and reports; cosmetic only — it is
     #: excluded from the content hash, so relabelling the same physics keeps
@@ -89,6 +97,9 @@ class RunSpec:
         if self.initial_state not in INITIAL_STATES:
             raise ValueError(f"unknown initial_state {self.initial_state!r}; "
                              f"choose from {INITIAL_STATES}")
+        if self.block_ops not in BLOCK_OPS_CHOICES:
+            raise ValueError(f"unknown block_ops {self.block_ops!r}; "
+                             f"choose from {BLOCK_OPS_CHOICES}")
         # normalize container fields so construction paths hash identically
         object.__setattr__(self, "params",
                            tuple(sorted((str(k), v) for k, v in
@@ -130,6 +141,8 @@ class RunSpec:
                 clean[key] = float(clean[key])
         if "compile_matvec" in clean:
             clean["compile_matvec"] = bool(clean["compile_matvec"])
+        if "mixed_precision" in clean:
+            clean["mixed_precision"] = bool(clean["mixed_precision"])
         return cls(**clean)
 
     def with_overrides(self, **overrides) -> "RunSpec":
@@ -151,6 +164,13 @@ class RunSpec:
         payload = {"spec_version": SPEC_VERSION}
         payload.update(self.to_dict())
         payload.pop("label", None)    # cosmetic, not part of the identity
+        # engine fields added after spec_version 1 shipped are omitted at
+        # their defaults, so every pre-existing spec keeps its run id (the
+        # registry stays content-addressed across releases)
+        if payload.get("block_ops") == "numpy":
+            payload.pop("block_ops", None)
+        if payload.get("mixed_precision") is False:
+            payload.pop("mixed_precision", None)
         return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
     @property
@@ -169,6 +189,10 @@ class RunSpec:
         bits = [self.model + (f"({params})" if params else ""),
                 self.engine, self.backend, f"m={self.maxdim}",
                 f"sweeps={self.nsweeps}"]
+        if self.block_ops != "numpy":
+            bits.append(f"ops={self.block_ops}")
+        if self.mixed_precision:
+            bits.append("mixed-precision")
         if self.backend != "direct":
             bits.append(f"{self.nodes}x{self.procs_per_node}@{self.machine}")
         return " ".join(bits)

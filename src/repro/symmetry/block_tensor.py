@@ -220,6 +220,14 @@ class BlockSparseTensor:
                                  {k: v.copy() for k, v in self.blocks.items()},
                                  flux=self.flux, dtype=self.dtype, check=False)
 
+    def astype(self, dtype) -> "BlockSparseTensor":
+        """A copy with every block cast to ``dtype`` (blocks shared if equal)."""
+        dtype = np.dtype(dtype)
+        return BlockSparseTensor(
+            self.indices,
+            {k: v.astype(dtype, copy=False) for k, v in self.blocks.items()},
+            flux=self.flux, dtype=dtype, check=False)
+
     # ------------------------------------------------------------------ #
     # elementwise algebra
     # ------------------------------------------------------------------ #
@@ -330,7 +338,8 @@ class BlockSparseTensor:
     # ------------------------------------------------------------------ #
     def contract(self, other: "BlockSparseTensor",
                  axes: tuple[Sequence[int], Sequence[int]],
-                 count_flops: bool = True) -> "BlockSparseTensor":
+                 count_flops: bool = True,
+                 ops=None) -> "BlockSparseTensor":
         """Contract ``self`` with ``other`` along the given axes.
 
         ``axes = (axes_self, axes_other)`` in ``tensordot`` convention.  The
@@ -353,7 +362,9 @@ class BlockSparseTensor:
         out_indices = tuple(self.indices[i] for i in keep_a) + \
             tuple(other.indices[i] for i in keep_b)
         out_flux = add_charges(self.flux, other.flux)
-        out_dtype = np.result_type(self.dtype, other.dtype)
+        from .blockops import resolve_block_ops
+        ops = resolve_block_ops(ops)
+        out_dtype = ops.result_type(self.dtype, other.dtype)
 
         # group B blocks by the sector ids on the contracted modes
         b_by_contr: Dict[BlockKey, list[tuple[BlockKey, np.ndarray]]] = {}
@@ -371,7 +382,7 @@ class BlockSparseTensor:
             keyA_keep = tuple(keyA[i] for i in keep_a)
             for keyB, blkB in partners:
                 keyC = keyA_keep + tuple(keyB[i] for i in keep_b)
-                res = np.tensordot(blkA, blkB, axes=(axes_a, axes_b))
+                res = ops.tensordot(blkA, blkB, axes=(axes_a, axes_b))
                 if count_flops:
                     nflops += _flops.contraction_flops(
                         blkA.shape, blkB.shape, axes_a, axes_b)

@@ -9,22 +9,27 @@ the contracted dimension), and the remaining single-pair outputs that share a
 per-pair ``tensordot`` loop of Algorithm 2 with a handful of large matrix
 multiplies — the paper's route to near-dense GEMM throughput for block-sparse
 DMRG contractions (Section IV, Fig. 3).
+
+All arithmetic is issued through a :class:`~repro.symmetry.blockops.BlockOps`
+instance; plans and flop accounting are independent of which implementation
+runs the GEMMs.
 """
 
 from __future__ import annotations
 
 import time
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..perf import flops as _flops
 from .block_tensor import BlockSparseTensor
+from .blockops import BlockOps, resolve_block_ops
 from .planner import ContractionPlan, MatSlot, PlanCache, build_plan
 
 
-def _matricize(t: BlockSparseTensor, slots: Sequence[MatSlot]
-               ) -> List[np.ndarray]:
+def _matricize(t: BlockSparseTensor, slots: Sequence[MatSlot],
+               ops: BlockOps) -> List[np.ndarray]:
     """Reshape every planned operand block into its 2-D view, once."""
     blocks = t.blocks
     mats: List[np.ndarray] = []
@@ -32,41 +37,56 @@ def _matricize(t: BlockSparseTensor, slots: Sequence[MatSlot]
         blk = blocks[slot.key]
         if slot.perm is not None:
             blk = np.transpose(blk, slot.perm)
-        mats.append(blk.reshape(slot.rows, slot.cols))
+        mats.append(ops.prepare(blk.reshape(slot.rows, slot.cols)))
     return mats
 
 
 def execute_plan(plan: ContractionPlan, a: BlockSparseTensor,
-                 b: BlockSparseTensor, count_flops: bool = True):
+                 b: BlockSparseTensor, count_flops: bool = True,
+                 ops: Optional[BlockOps] = None):
     """Run a precompiled contraction plan on a matching tensor pair.
 
     Returns a :class:`BlockSparseTensor`, or a scalar of the proper result
     dtype when the contraction has no free modes.
     """
-    out_dtype = np.result_type(a.dtype, b.dtype)
-    amats = _matricize(a, plan.a_slots)
-    bmats = _matricize(b, plan.b_slots)
+    ops = resolve_block_ops(ops)
+    out_dtype = ops.result_type(a.dtype, b.dtype)
+    amats = _matricize(a, plan.a_slots, ops)
+    bmats = _matricize(b, plan.b_slots, ops)
     results: List[Optional[np.ndarray]] = [None] * len(plan.out_specs)
 
-    for grp in plan.fused_groups:
+    def run_fused(grp):
         if len(grp.a_slots) == 1:
             lhs, rhs = amats[grp.a_slots[0]], bmats[grp.b_slots[0]]
         else:
-            lhs = np.concatenate([amats[i] for i in grp.a_slots], axis=1)
-            rhs = np.concatenate([bmats[i] for i in grp.b_slots], axis=0)
-        results[grp.out_slot] = lhs @ rhs
+            lhs = ops.concat([amats[i] for i in grp.a_slots], axis=1)
+            rhs = ops.concat([bmats[i] for i in grp.b_slots], axis=0)
+        results[grp.out_slot] = ops.matmul(lhs, rhs)
 
-    for batch in plan.batch_groups:
+    def run_batch(batch):
         entries = batch.entries
         if len(entries) == 1:
             so, sa, sb = entries[0]
-            results[so] = amats[sa] @ bmats[sb]
+            results[so] = ops.matmul(amats[sa], bmats[sb])
         else:
-            lhs = np.stack([amats[sa] for _, sa, _ in entries])
-            rhs = np.stack([bmats[sb] for _, _, sb in entries])
-            prod = np.matmul(lhs, rhs)
+            lhs = ops.stack([amats[sa] for _, sa, _ in entries])
+            rhs = ops.stack([bmats[sb] for _, _, sb in entries])
+            prod = ops.matmul(lhs, rhs)
             for i, (so, _, _) in enumerate(entries):
                 results[so] = prod[i]
+
+    if ops.parallel and len(plan.fused_groups) + len(plan.batch_groups) > 1:
+        tasks: List[Callable[[], None]] = []
+        tasks.extend((lambda g=grp: run_fused(g))
+                     for grp in plan.fused_groups)
+        tasks.extend((lambda b_=batch: run_batch(b_))
+                     for batch in plan.batch_groups)
+        ops.run(tasks)
+    else:
+        for grp in plan.fused_groups:
+            run_fused(grp)
+        for batch in plan.batch_groups:
+            run_batch(batch)
 
     if count_flops and plan.total_flops:
         _flops.add_flops(plan.total_flops, "gemm")
@@ -84,12 +104,13 @@ def execute_plan(plan: ContractionPlan, a: BlockSparseTensor,
 
 def execute_cached(plan: ContractionPlan, a: BlockSparseTensor,
                    b: BlockSparseTensor, cache: PlanCache | None,
-                   count_flops: bool = True):
+                   count_flops: bool = True,
+                   ops: Optional[BlockOps] = None):
     """Execute a plan while attributing execution time to ``cache``."""
     if cache is None:
-        return execute_plan(plan, a, b, count_flops=count_flops)
+        return execute_plan(plan, a, b, count_flops=count_flops, ops=ops)
     t0 = time.perf_counter()
-    out = execute_plan(plan, a, b, count_flops=count_flops)
+    out = execute_plan(plan, a, b, count_flops=count_flops, ops=ops)
     dt = time.perf_counter() - t0
     cache.execute_seconds += dt
     _flops.plan_counter().record_execute(dt)
@@ -112,7 +133,8 @@ def plan_for(a: BlockSparseTensor, b: BlockSparseTensor,
 def contract_planned(a: BlockSparseTensor, b: BlockSparseTensor,
                      axes: Tuple[Sequence[int], Sequence[int]],
                      cache: PlanCache | None = None,
-                     count_flops: bool = True):
+                     count_flops: bool = True,
+                     ops: Optional[BlockOps] = None):
     """Contract two block tensors through the plan cache.
 
     With ``cache=None`` this falls back to the naive per-pair Algorithm-2
@@ -120,6 +142,6 @@ def contract_planned(a: BlockSparseTensor, b: BlockSparseTensor,
     the property tests compare the planned path against.
     """
     if cache is None:
-        return a.contract(b, axes, count_flops=count_flops)
+        return a.contract(b, axes, count_flops=count_flops, ops=ops)
     plan = cache.lookup(a, b, axes)
-    return execute_cached(plan, a, b, cache, count_flops=count_flops)
+    return execute_cached(plan, a, b, cache, count_flops=count_flops, ops=ops)

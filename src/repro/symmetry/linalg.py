@@ -20,6 +20,7 @@ import numpy as np
 from ..perf import flops as _flops
 from .charges import Charge, zero_charge
 from .block_tensor import BlockKey, BlockSparseTensor
+from .blockops import resolve_block_ops
 from .index import Index
 
 
@@ -128,8 +129,9 @@ def svd(t: BlockSparseTensor, row_axes: Sequence[int],
         col_axes: Sequence[int] | None = None, *,
         max_dim: int | None = None, cutoff: float = 0.0,
         svd_min: float = 0.0, absorb: str | None = None,
-        new_tag: str = "link") -> Tuple[BlockSparseTensor, SingularSpectrum,
-                                        BlockSparseTensor, TruncationInfo]:
+        new_tag: str = "link",
+        ops=None) -> Tuple[BlockSparseTensor, SingularSpectrum,
+                           BlockSparseTensor, TruncationInfo]:
     """Truncated block-sparse SVD ``t = U · diag(S) · Vh``.
 
     Parameters
@@ -162,13 +164,17 @@ def svd(t: BlockSparseTensor, row_axes: Sequence[int],
     if absorb not in (None, "left", "right"):
         raise ValueError(f"invalid absorb={absorb!r}")
 
+    ops = resolve_block_ops(ops)
+    out_dtype = ops.result_type(t.dtype)
     records = _assemble_groups(t, row_axes, col_axes)
 
+    # independent per-charge-group factorizations; threaded ops run them
+    # concurrently, flop accounting stays in group order either way.
+    facts = ops.svd_many([rec[1] for rec in records])
     factored = []
     all_sq = []
     for (qrow, mat, row_keys, row_offsets, row_dims,
-         col_keys, col_offsets, col_dims) in records:
-        u, s, vh = np.linalg.svd(mat, full_matrices=False)
+         col_keys, col_offsets, col_dims), (u, s, vh) in zip(records, facts):
         _flops.add_flops(_flops.svd_flops(*mat.shape), "svd")
         factored.append((qrow, u, s, vh, row_keys, row_offsets, row_dims,
                          col_keys, col_offsets, col_dims))
@@ -254,8 +260,9 @@ def svd(t: BlockSparseTensor, row_axes: Sequence[int],
         new_right = Index(charges, [1], flow=1, tag=new_tag)
         u_idx = tuple(t.indices[a] for a in row_axes) + (new_left,)
         v_idx = (new_right,) + tuple(t.indices[a] for a in col_axes)
-        U = BlockSparseTensor.zeros(u_idx, flux=zero_charge(t.nsym), dtype=t.dtype)
-        Vh = BlockSparseTensor.zeros(v_idx, flux=t.flux, dtype=t.dtype)
+        U = BlockSparseTensor.zeros(u_idx, flux=zero_charge(t.nsym),
+                                    dtype=out_dtype)
+        Vh = BlockSparseTensor.zeros(v_idx, flux=t.flux, dtype=out_dtype)
         spec = SingularSpectrum(charges, values)
         info = TruncationInfo(1, 0.0, 0.0, spec)
         return U, spec, Vh, info
@@ -266,8 +273,8 @@ def svd(t: BlockSparseTensor, row_axes: Sequence[int],
     u_idx = tuple(t.indices[a] for a in row_axes) + (new_left,)
     v_idx = (new_right,) + tuple(t.indices[a] for a in col_axes)
     U = BlockSparseTensor(u_idx, u_blocks, flux=zero_charge(t.nsym),
-                          dtype=t.dtype, check=False)
-    Vh = BlockSparseTensor(v_idx, v_blocks, flux=t.flux, dtype=t.dtype,
+                          dtype=out_dtype, check=False)
+    Vh = BlockSparseTensor(v_idx, v_blocks, flux=t.flux, dtype=out_dtype,
                            check=False)
     discarded = max(total_weight - kept_sq, 0.0)
     rel = discarded / total_weight if total_weight > 0 else 0.0
@@ -278,7 +285,8 @@ def svd(t: BlockSparseTensor, row_axes: Sequence[int],
 
 def qr(t: BlockSparseTensor, row_axes: Sequence[int],
        col_axes: Sequence[int] | None = None, *,
-       new_tag: str = "link") -> Tuple[BlockSparseTensor, BlockSparseTensor]:
+       new_tag: str = "link",
+       ops=None) -> Tuple[BlockSparseTensor, BlockSparseTensor]:
     """Block-sparse thin QR: ``t = Q · R`` with Q isometric over the row modes.
 
     Used for shifting the orthogonality center of an MPS without truncation
@@ -293,14 +301,16 @@ def qr(t: BlockSparseTensor, row_axes: Sequence[int],
     if sorted(row_axes + col_axes) != list(range(t.ndim)):
         raise ValueError("row_axes and col_axes must partition the tensor modes")
 
+    ops = resolve_block_ops(ops)
+    out_dtype = ops.result_type(t.dtype)
     records = _assemble_groups(t, row_axes, col_axes)
+    facts = ops.qr_many([rec[1] for rec in records])
     charges, dims = [], []
     q_blocks: Dict[BlockKey, np.ndarray] = {}
     r_blocks: Dict[BlockKey, np.ndarray] = {}
     sector_id = 0
     for (qrow, mat, row_keys, row_offsets, row_dims,
-         col_keys, col_offsets, col_dims) in records:
-        q, r = np.linalg.qr(mat, mode="reduced")
+         col_keys, col_offsets, col_dims), (q, r) in zip(records, facts):
         _flops.add_flops(_flops.qr_flops(*mat.shape), "svd")
         k = q.shape[1]
         charges.append(qrow)
@@ -329,8 +339,8 @@ def qr(t: BlockSparseTensor, row_axes: Sequence[int],
     q_idx = tuple(t.indices[a] for a in row_axes) + (new_left,)
     r_idx = (new_right,) + tuple(t.indices[a] for a in col_axes)
     Q = BlockSparseTensor(q_idx, q_blocks, flux=zero_charge(t.nsym),
-                          dtype=t.dtype, check=False)
-    R = BlockSparseTensor(r_idx, r_blocks, flux=t.flux, dtype=t.dtype,
+                          dtype=out_dtype, check=False)
+    R = BlockSparseTensor(r_idx, r_blocks, flux=t.flux, dtype=out_dtype,
                           check=False)
     return Q, R
 

@@ -47,6 +47,7 @@ import numpy as np
 
 from ..perf import flops as _flops
 from .block_tensor import BlockSparseTensor
+from .blockops import resolve_block_ops
 from .planner import ContractionPlan, build_plan, tensor_signature
 
 
@@ -276,6 +277,7 @@ class MatvecProgram:
     def execute(self, x: BlockSparseTensor, backend) -> BlockSparseTensor:
         """Run the compiled pipeline on ``x`` (same signature as traced)."""
         cache = getattr(backend, "plan_cache", None)
+        ops = resolve_block_ops(getattr(backend, "block_ops", None))
         t0 = time.perf_counter()
         prev: Optional[_CompiledStage] = None
         blocks_out: Dict[tuple, np.ndarray] = {}
@@ -299,21 +301,30 @@ class MatvecProgram:
                     dst[...] = arr.transpose(perm) if perm is not None else arr
             for dst, slot in st.fills:
                 dst[...] = st.dmats[slot]
-            # run the GEMM units
+            # run the GEMM units (independent writes to disjoint outputs:
+            # threaded ops may execute them concurrently)
             if st.is_final:
                 buf = np.empty(st.final_size, dtype=st.out_dtype)
+                gemms = []
                 for kind, lhs, rhs, out_ref in st.units:
                     off, shape = out_ref
                     size = int(math.prod(shape))
                     out = buf[off:off + size].reshape(shape)
-                    np.matmul(self._resolve(lhs, st.dmats),
-                              self._resolve(rhs, st.dmats), out=out)
+                    gemms.append((self._resolve(lhs, st.dmats),
+                                  self._resolve(rhs, st.dmats), out))
+            else:
+                gemms = [(self._resolve(lhs, st.dmats),
+                          self._resolve(rhs, st.dmats), out)
+                         for kind, lhs, rhs, out in st.units]
+            if ops.parallel and len(gemms) > 1:
+                ops.run([(lambda l=l, r=r, o=o: ops.matmul(l, r, out=o))
+                         for l, r, o in gemms])
+            else:
+                for l, r, o in gemms:
+                    ops.matmul(l, r, out=o)
+            if st.is_final:
                 for key, off, size, dense_shape in st.final_blocks:
                     blocks_out[key] = buf[off:off + size].reshape(dense_shape)
-            else:
-                for kind, lhs, rhs, out in st.units:
-                    np.matmul(self._resolve(lhs, st.dmats),
-                              self._resolve(rhs, st.dmats), out=out)
             prev = st
         if self.total_flops:
             _flops.add_flops(self.total_flops, "gemm")
@@ -557,6 +568,7 @@ class MatvecCompiler:
         cache = self.backend.plan_cache
         if cache is None:
             return None
+        ops = resolve_block_ops(getattr(self.backend, "block_ops", None))
         owned: List[np.ndarray] = []
         compiled: List[_CompiledStage] = []
         prev_out_slot_of: Optional[Dict[tuple, int]] = None
@@ -575,7 +587,7 @@ class MatvecCompiler:
                     plan = build_plan(a, b, stg.axes)
                 if not plan.pairs or plan.scalar_output:
                     raise _Uncompilable
-                out_dtype = np.result_type(in_dtype, stg.static.dtype)
+                out_dtype = ops.result_type(in_dtype, stg.static.dtype)
                 charge = _stage_charge(plan, a, b, stg)
                 st = _build_stage(plan, stg, dyn, charge, self.arena, owned,
                                   prev_out_slot_of, prev_out_shapes,

@@ -1,11 +1,18 @@
 # Development entry points for the SC'20 distributed-DMRG reproduction.
 #
 #   make check          - everything CI runs: tests + threaded-kernel smoke +
-#                         docstring gate + bench smoke + campaign smoke
+#                         process-executor smoke + docstring gate + bench
+#                         smoke + campaign smoke
 #   make test           - tier-1 test suite (pytest, stops at first failure)
 #   make test-threaded  - tier-1 smoke subset re-run with the threaded
 #                         block-ops kernels (REPRO_BLOCK_OPS=threaded), so
 #                         the thread-pool executor is exercised end to end
+#   make test-process   - the same smoke subset plus the conformance suite
+#                         under the process executor with every kernel forced
+#                         through the workers (REPRO_BLOCK_OPS=process,
+#                         REPRO_PROCESS_MIN_DISPATCH=0): shared-memory
+#                         panels, descriptor shipping and respawn logic get
+#                         end-to-end coverage
 #   make doccheck       - docstring-presence gate over the public ctf/ surface
 #   make bench-smoke    - measured benchmarks at tiny sizes + plan-aware
 #                         cost-model invariants (python -m repro bench --smoke);
@@ -18,9 +25,10 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check test test-threaded doccheck bench-smoke campaign-smoke bench
+.PHONY: check test test-threaded test-process doccheck bench-smoke \
+	campaign-smoke bench
 
-check: test test-threaded doccheck bench-smoke campaign-smoke
+check: test test-threaded test-process doccheck bench-smoke campaign-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -29,6 +37,12 @@ test-threaded:
 	REPRO_BLOCK_OPS=threaded $(PYTHON) -m pytest -x -q \
 		tests/test_blockops.py tests/test_matvec.py tests/test_dmrg.py \
 		tests/test_backends.py
+
+test-process:
+	REPRO_BLOCK_OPS=process REPRO_PROCESS_MIN_DISPATCH=0 \
+		$(PYTHON) -m pytest -x -q \
+		tests/test_blockops_conformance.py tests/test_procops_faults.py \
+		tests/test_matvec.py tests/test_dmrg.py
 
 doccheck:
 	$(PYTHON) tools/check_docstrings.py src/repro/ctf

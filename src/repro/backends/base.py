@@ -58,8 +58,12 @@ class ContractionBackend(ABC):
         self._last_plan = None
         #: pooled scratch buffers shared by every compiled matvec program of
         #: this backend (see :class:`repro.symmetry.matvec.WorkspaceArena`);
-        #: consecutive bond steps recycle each other's panels and stacks
-        self.workspace_arena = WorkspaceArena()
+        #: consecutive bond steps recycle each other's panels and stacks.
+        #: The ops implementation chooses the backing allocator — the
+        #: process executor places these buffers in shared memory so its
+        #: workers read panels and write output slices in place
+        self.workspace_arena = WorkspaceArena(
+            allocator=self.block_ops.allocator())
         #: compiled-matvec lifecycle counters (compiles / applies / releases)
         self.matvec_counters = MatvecCounters()
 

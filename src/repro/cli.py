@@ -32,7 +32,10 @@ The subcommands cover the everyday workflows:
     plan-cache/fused-GEMM comparison, the compiled-matvec comparison
     (``matvec`` target), the block-ops kernel comparison (``blockops``
     target: threaded vs numpy wall-clock, bit-identical modelled costs,
-    mixed-precision energy agreement) and the micro-kernel suite — at tiny
+    mixed-precision energy agreement), the process-executor validation
+    (``executor`` target: the planned SUMMA schedules run for real on worker
+    processes, bit-identical to serial numpy, with a modelled-vs-measured
+    per-category breakdown) and the micro-kernel suite — at tiny
     sizes, and
     assert the modelled-cost invariants: the plan-aware model's (equal to
     the aggregate model on a dense block, never worse on block-sparse
@@ -343,6 +346,34 @@ def cmd_bench(args: argparse.Namespace) -> int:
                   f"multi-core host ({stats['speedup']:.2f}x on "
                   f"{stats['cores']} cores)", file=sys.stderr)
             rc = 1
+    if args.target in ("all", "executor"):
+        from .perf.executor_validate import (format_executor_benchmark,
+                                             run_executor_benchmark)
+        if args.full:
+            stats = run_executor_benchmark()
+        else:
+            stats = run_executor_benchmark(nsites=12, maxdim=16, repeats=5,
+                                           dmrg_nsites=8, dmrg_maxdim=16,
+                                           dmrg_nsweeps=3)
+        print(format_executor_benchmark(stats))
+        emitted["executor"] = stats
+        if (stats["matvec_delta_norm"] != 0.0
+                or stats["dmrg_energy_delta"] != 0.0
+                or not stats["modelled_seconds_equal"]
+                or not stats["layout_tracker_equal"]
+                or not stats["plan_stats_equal"]):
+            print("error: process executor diverged from serial numpy "
+                  f"(|matvec delta| = {stats['matvec_delta_norm']:.3e}, "
+                  f"|dE| = {stats['dmrg_energy_delta']:.3e}, modelled equal: "
+                  f"{stats['modelled_seconds_equal']}, tracker equal: "
+                  f"{stats['layout_tracker_equal']}, plan stats equal: "
+                  f"{stats['plan_stats_equal']})", file=sys.stderr)
+            rc = 1
+        if stats["multicore"] and stats["speedup"] < 1.3 and args.full:
+            print("error: process executor below the 1.3x bar on a "
+                  f"multi-core host ({stats['speedup']:.2f}x on "
+                  f"{stats['cores']} cores)", file=sys.stderr)
+            rc = 1
     if args.target in ("all", "micro-kernels"):
         import importlib.util
         import pathlib
@@ -428,7 +459,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--initial-bond-dim", type=int, default=8,
                        help="bond dimension of --initial-state random")
     p_run.add_argument("--block-ops", default="numpy",
-                       choices=["numpy", "threaded"],
+                       choices=["numpy", "threaded", "process"],
                        help="numerical kernel implementation the backend "
                             "executes through; modelled costs are identical "
                             "for every choice")
@@ -500,7 +531,8 @@ def build_parser() -> argparse.ArgumentParser:
         "bench", help="run benchmark smoke targets (tiny sizes)")
     p_bench.add_argument("--target", default="all",
                          choices=["all", "plan-cost", "layout", "plan-cache",
-                                  "matvec", "blockops", "micro-kernels"])
+                                  "matvec", "blockops", "executor",
+                                  "micro-kernels"])
     p_bench.add_argument("--json", default=None, metavar="PATH",
                          help="write every target's machine-readable metrics "
                               "to this JSON artifact (e.g. BENCH_smoke.json)")

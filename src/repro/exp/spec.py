@@ -38,7 +38,7 @@ ENGINES = ("two-site", "single-site", "excited")
 BACKENDS = ("direct", "list", "sparse-dense", "sparse-sparse")
 SCHEDULES = ("ramp", "fixed")
 INITIAL_STATES = ("product", "random")
-BLOCK_OPS_CHOICES = ("numpy", "threaded")
+BLOCK_OPS_CHOICES = ("numpy", "threaded", "process")
 
 #: int-valued spec fields (coerced on load so ``64`` and ``64.0`` hash equal)
 _INT_FIELDS = ("nodes", "procs_per_node", "maxdim", "nsweeps", "nstates",

@@ -61,6 +61,10 @@ _LAZY = {
     "run_plan_cost_check": "plan_bench",
     "format_matvec_benchmark": "matvec_bench",
     "run_matvec_compile_benchmark": "matvec_bench",
+    "TimedOps": "executor_validate",
+    "format_executor_benchmark": "executor_validate",
+    "run_executor_benchmark": "executor_validate",
+    "run_executor_validation": "executor_validate",
     "format_micro_kernels": "microbench",
     "run_micro_kernels": "microbench",
     "format_sweep_records": "report",

@@ -10,7 +10,9 @@ from .charges import (Charge, add_charges, negate_charge, scale_charge,
 from .index import Index, fuse_indices
 from .block_tensor import BlockSparseTensor, contract, outer
 from .blockops import (BlockOps, MixedPrecisionOps, NumpyOps, ThreadedOps,
-                       default_block_ops, make_block_ops, resolve_block_ops)
+                       create_block_ops, default_block_ops, make_block_ops,
+                       register_block_ops, registered_block_ops,
+                       resolve_block_ops)
 from .linalg import (SingularSpectrum, TruncationInfo, qr, spectrum_tensor,
                      svd)
 from .planner import (ContractionPlan, PlanCache, build_plan,
@@ -29,5 +31,6 @@ __all__ = [
     "MatvecProgram", "MatvecStage", "StageCharge", "WorkspaceArena",
     "FusedMode", "fuse_modes", "matricize", "split_mode",
     "BlockOps", "MixedPrecisionOps", "NumpyOps", "ThreadedOps",
-    "default_block_ops", "make_block_ops", "resolve_block_ops",
+    "create_block_ops", "default_block_ops", "make_block_ops",
+    "register_block_ops", "registered_block_ops", "resolve_block_ops",
 ]

@@ -9,7 +9,7 @@ charges, modelled seconds) never looks at the arithmetic, so swapping the
 ops implementation changes wall-clock behaviour and numerics only; plans
 and modelled costs are bit-identical across implementations.
 
-Three implementations ship:
+Four implementations register themselves here:
 
 ``numpy``
     The default.  Thin method-call indirection over exactly the numpy
@@ -23,14 +23,25 @@ Three implementations ship:
     accumulation order inside each task is fixed, so results are
     bit-identical to ``numpy``.
 
-:class:`MixedPrecisionOps`
-    A wrapper around either of the above that computes in a reduced
-    dtype (float32/complex64).  Used by the DMRG drivers for a float32
+``process``
+    :class:`~repro.symmetry.procops.ProcessOps` — the planned GEMM
+    groups and factorizations execute on worker *processes* over
+    ``multiprocessing.shared_memory`` panels, mirroring the SUMMA
+    schedules the simulated mapper picks (disjoint output slices, fixed
+    accumulation order, bit-identical to ``numpy``).
+
+``mixed`` / :class:`MixedPrecisionOps`
+    A wrapper around any of the above that computes in a reduced dtype
+    (float32/complex64).  Used by the DMRG drivers for a float32
     Davidson warm-up phase followed by float64 polish sweeps
-    (``DMRGConfig.warmup_dtype`` / ``warmup_sweeps``).
+    (``DMRGConfig.warmup_dtype`` / ``warmup_sweeps``); kernels delegate
+    to the wrapped base, so the warm-up composes with the threaded and
+    process executors.
 
 Later GPU ops (cupy/torch) plug in at this same seam: implement the
-handful of methods below against device arrays and pass the instance as
+handful of methods below against device arrays, register a factory with
+:func:`register_block_ops` (which also enrols the implementation in the
+cross-implementation conformance suite), and pass the instance as
 ``block_ops=`` to any backend.
 
 The environment variable ``REPRO_BLOCK_OPS`` selects the default
@@ -52,8 +63,12 @@ __all__ = [
     "ThreadedOps",
     "MixedPrecisionOps",
     "make_block_ops",
+    "create_block_ops",
+    "register_block_ops",
+    "registered_block_ops",
     "resolve_block_ops",
     "default_block_ops",
+    "shutdown_all",
     "BLOCK_OPS_ENV",
 ]
 
@@ -83,9 +98,29 @@ class BlockOps:
     def prepare(self, mat: np.ndarray) -> np.ndarray:
         """Hook applied to every matricized operand before GEMM.
 
-        Identity here; :class:`MixedPrecisionOps` downcasts.
+        Identity here; :class:`MixedPrecisionOps` downcasts and the process
+        executor pins the operand into a shared-memory scratch segment.
         """
         return mat
+
+    def allocator(self):
+        """Allocator the backends' workspace arenas should draw from.
+
+        ``None`` means plain ``np.empty``; the process executor returns its
+        shared-memory allocator so compiled-matvec panels are visible to the
+        worker processes.
+        """
+        return None
+
+    def serial_reference(self) -> "BlockOps":
+        """A serial twin computing in this implementation's dtype environment.
+
+        The conformance suite compares every implementation against its
+        serial reference bit-for-bit: plain kernels answer with the numpy
+        baseline; wrappers that change the numeric environment (mixed
+        precision) wrap the reference the same way.
+        """
+        return BlockOps()
 
     # -- GEMM kernels ------------------------------------------------------
 
@@ -284,9 +319,33 @@ class MixedPrecisionOps(BlockOps):
 
     def prepare(self, mat: np.ndarray) -> np.ndarray:
         target = self._demote.get(mat.dtype)
-        if target is None:
-            return mat
-        return mat.astype(target, copy=False)
+        if target is not None:
+            mat = mat.astype(target, copy=False)
+        # chain the base placement hook (the process executor pins the
+        # downcast operand into shared memory), so mixed precision composes
+        # with every execution strategy
+        return self.base.prepare(mat)
+
+    def allocator(self):
+        return self.base.allocator()
+
+    def serial_reference(self) -> BlockOps:
+        return MixedPrecisionOps(self.base.serial_reference(),
+                                 self.compute_dtype)
+
+    # every kernel executes through the base implementation, so a threaded
+    # or process base parallelizes the reduced-precision arithmetic too
+    def matmul(self, a: np.ndarray, b: np.ndarray,
+               out: Optional[np.ndarray] = None) -> np.ndarray:
+        return self.base.matmul(a, b, out=out)
+
+    def concat(self, mats: Sequence[np.ndarray], axis: int,
+               out: Optional[np.ndarray] = None) -> np.ndarray:
+        return self.base.concat(mats, axis, out=out)
+
+    def stack(self, mats: Sequence[np.ndarray],
+              out: Optional[np.ndarray] = None) -> np.ndarray:
+        return self.base.stack(mats, out=out)
 
     def run(self, tasks: Sequence[Callable[[], None]]) -> None:
         self.base.run(tasks)
@@ -315,25 +374,81 @@ class MixedPrecisionOps(BlockOps):
 
 _SINGLETONS: dict = {}
 
+#: name -> zero-arg factory; the conformance suite runs against every entry,
+#: so a new implementation gets the full cross-implementation test battery
+#: just by registering itself here
+_FACTORIES: dict = {}
+
+
+def register_block_ops(name: str, factory) -> None:
+    """Register a named implementation (``factory`` is a zero-arg callable).
+
+    Registration is how an implementation joins ``make_block_ops`` name
+    resolution *and* the conformance suite
+    (``tests/test_blockops_conformance.py`` parametrizes over
+    :func:`registered_block_ops`).
+    """
+    _FACTORIES[name.strip().lower()] = factory
+
+
+def registered_block_ops() -> tuple:
+    """Names of every registered implementation, in registration order."""
+    _ensure_builtin_registrations()
+    return tuple(_FACTORIES)
+
+
+def _process_factory() -> BlockOps:
+    # imported lazily: the process executor pulls in multiprocessing and the
+    # shared-memory arena, which nothing else on this path needs
+    from .procops import ProcessOps
+    return ProcessOps()
+
+
+def _ensure_builtin_registrations() -> None:
+    if "numpy" not in _FACTORIES:
+        register_block_ops("numpy", BlockOps)
+        register_block_ops("threaded", ThreadedOps)
+        register_block_ops("process", _process_factory)
+        register_block_ops("mixed", lambda: MixedPrecisionOps(BlockOps()))
+
+
+def create_block_ops(name: str) -> BlockOps:
+    """Instantiate a *fresh* (non-singleton) registered implementation."""
+    _ensure_builtin_registrations()
+    key = name.strip().lower()
+    factory = _FACTORIES.get(key)
+    if factory is None:
+        raise ValueError(f"unknown block ops {name!r} "
+                         f"(registered: {', '.join(sorted(_FACTORIES))})")
+    return factory()
+
 
 def make_block_ops(name: str) -> BlockOps:
-    """Instantiate a named ops implementation (``numpy`` or ``threaded``).
+    """Resolve a named ops implementation to its process-wide singleton.
 
-    Named implementations are process-wide singletons so the threaded
-    executor shares one pool across backends.
+    Singletons make the threaded executor share one thread pool — and the
+    process executor one worker pool and shared-memory arena — across every
+    backend in the process.
     """
     key = name.strip().lower()
     if key in _SINGLETONS:
         return _SINGLETONS[key]
-    if key == "numpy":
-        ops: BlockOps = BlockOps()
-    elif key == "threaded":
-        ops = ThreadedOps()
-    else:
-        raise ValueError(
-            f"unknown block ops {name!r} (expected 'numpy' or 'threaded')")
+    ops = create_block_ops(key)
     _SINGLETONS[key] = ops
     return ops
+
+
+def shutdown_all() -> None:
+    """Shut down every singleton that owns external resources.
+
+    The test suite's session-scoped shared-memory guard calls this before
+    asserting that no segments survived; implementations without a
+    ``shutdown`` method are untouched.
+    """
+    for ops in list(_SINGLETONS.values()):
+        shutdown = getattr(ops, "shutdown", None)
+        if callable(shutdown):
+            shutdown()
 
 
 def default_block_ops() -> BlockOps:

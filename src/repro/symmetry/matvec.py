@@ -66,9 +66,9 @@ class WorkspaceArena:
     """
 
     __slots__ = ("_free", "acquires", "reuses", "releases", "allocated_bytes",
-                 "max_pool_per_key")
+                 "max_pool_per_key", "allocator")
 
-    def __init__(self, max_pool_per_key: int = 8):
+    def __init__(self, max_pool_per_key: int = 8, allocator=None):
         self._free: Dict[Tuple[str, int], List[np.ndarray]] = {}
         #: total acquire calls / acquires served from the pool / releases
         self.acquires = 0
@@ -77,6 +77,10 @@ class WorkspaceArena:
         #: bytes of fresh (non-reused) buffer allocations
         self.allocated_bytes = 0
         self.max_pool_per_key = int(max_pool_per_key)
+        #: optional ``(shape, dtype) -> ndarray`` backing allocator; the
+        #: process executor supplies its shared-memory allocator here so
+        #: compiled panels and stacks are addressable by worker processes
+        self.allocator = allocator
 
     def acquire(self, shape: Tuple[int, ...], dtype) -> np.ndarray:
         """A contiguous buffer of ``shape``/``dtype`` (pooled when possible)."""
@@ -88,17 +92,23 @@ class WorkspaceArena:
         if stack:
             self.reuses += 1
             flat = stack.pop()
+        elif self.allocator is not None:
+            flat = self.allocator((size,), dtype)
+            self.allocated_bytes += flat.nbytes
         else:
             flat = np.empty(size, dtype=dtype)
             self.allocated_bytes += flat.nbytes
         return flat.reshape(shape)
 
     def release(self, arr: np.ndarray) -> None:
-        """Return a buffer obtained from :meth:`acquire` to the pool."""
-        base = arr
-        while base.base is not None:
-            base = base.base
-        flat = base.reshape(-1)
+        """Return a buffer obtained from :meth:`acquire` to the pool.
+
+        ``acquire`` hands out a reshaped view of a flat buffer, so the flat
+        root is recovered with one ``reshape(-1)`` — which also stays valid
+        for shared-memory-backed buffers, whose view chain bottoms out in a
+        memoryview rather than an ndarray.
+        """
+        flat = arr.reshape(-1)
         key = (flat.dtype.str, flat.size)
         stack = self._free.setdefault(key, [])
         if len(stack) < self.max_pool_per_key:

@@ -54,7 +54,8 @@ class TestResolution:
         ops = ThreadedOps(max_workers=2)
         assert resolve_block_ops(ops) is ops
         assert resolve_block_ops("threaded") is make_block_ops("threaded")
-        assert resolve_block_ops(None).name in ("numpy", "threaded")
+        assert resolve_block_ops(None).name in ("numpy", "threaded",
+                                                "process")
         with pytest.raises(TypeError):
             resolve_block_ops(42)
 

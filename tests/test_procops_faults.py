@@ -1,0 +1,173 @@
+"""Fault injection for the process executor: crashes, timeouts, recovery.
+
+The pool's contract under failure: a worker killed mid-job is replaced, the
+job is resubmitted and — kernels being deterministic — completes with a
+bit-identical result; the incident is charged to the executor's profiler
+under a custom category so run reports surface it; a job that fails on
+every allowed attempt raises :class:`ExecutorError` instead of hanging; and
+whatever happened, shutdown still unlinks every shared segment.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro.ctf import shm
+from repro.symmetry.procops import ExecutorError, ProcessOps
+
+
+def fresh_ops(**kwargs):
+    kwargs.setdefault("max_workers", 2)
+    kwargs.setdefault("min_dispatch_flops", 0.0)
+    kwargs.setdefault("min_pin_bytes", 0)
+    return ProcessOps(**kwargs)
+
+
+def kill_worker(ops, index):
+    os.kill(ops._workers[index].process.pid, signal.SIGKILL)
+
+
+class TestCrashRecovery:
+    def test_kill_mid_job_respawns_and_completes(self):
+        ops = fresh_ops()
+        try:
+            # a sleep job parks worker 0; killing the worker mid-sleep must
+            # not lose the job — the retry on the replacement completes it
+            job = ops._submit("sleep", 0.25, worker=0)
+            kill_worker(ops, 0)
+            assert ops._wait(job) is None
+            assert job.attempts == 2
+            assert ops.respawns >= 1
+            assert ops.profiler.breakdown().get("executor-crash", 0.0) > 0.0
+            # the replacement worker is live and serves new jobs
+            assert ops._wait(ops._submit("ping", None, worker=0)) == "pong"
+        finally:
+            ops.shutdown()
+
+    def test_result_after_crash_is_bit_identical(self):
+        ops = fresh_ops()
+        try:
+            rng = np.random.default_rng(4)
+            a, b = rng.standard_normal((20, 15)), rng.standard_normal((15, 9))
+            want = a @ b
+            for index in range(len(ops._workers) or 1):
+                ops._ensure_started()
+                kill_worker(ops, index)
+                np.testing.assert_array_equal(ops.matmul(a, b), want)
+            assert ops.respawns >= 1
+        finally:
+            ops.shutdown()
+
+    def test_gives_up_after_max_attempts(self):
+        ops = fresh_ops()
+        ops.max_attempts = 1  # no retries: the first crash is fatal
+        try:
+            job = ops._submit("sleep", 0.25, worker=0)
+            kill_worker(ops, 0)
+            with pytest.raises(ExecutorError, match="crash"):
+                ops._wait(job)
+            assert ops.failures >= 1
+            # the pool itself survives the failed job
+            assert ops._wait(ops._submit("ping", None)) == "pong"
+        finally:
+            ops.shutdown()
+
+
+class TestTimeoutPath:
+    def test_stuck_worker_is_killed_and_job_errors(self):
+        ops = fresh_ops(job_timeout=0.2)
+        try:
+            job = ops._submit("sleep", 30.0)  # far beyond the timeout
+            with pytest.raises(ExecutorError, match="timeout"):
+                ops._wait(job)
+            assert ops.timeouts >= 1
+            assert ops.respawns >= 1
+            assert ops.profiler.breakdown().get("executor-timeout",
+                                                0.0) > 0.0
+            assert ops._wait(ops._submit("ping", None)) == "pong"
+        finally:
+            ops.shutdown()
+
+    def test_fast_jobs_unaffected_by_timeout_config(self):
+        ops = fresh_ops(job_timeout=5.0)
+        try:
+            rng = np.random.default_rng(5)
+            a, b = rng.standard_normal((12, 12)), rng.standard_normal((12, 12))
+            np.testing.assert_array_equal(ops.matmul(a, b), a @ b)
+            assert ops.timeouts == 0
+        finally:
+            ops.shutdown()
+
+
+class TestWorkerErrorReporting:
+    def test_kernel_exception_is_reported_not_fatal(self):
+        ops = fresh_ops()
+        try:
+            job = ops._submit("no-such-kind", None)
+            with pytest.raises(ExecutorError, match="ValueError"):
+                ops._wait(job)
+            # the worker reported the error and kept running
+            assert ops.respawns == 0
+            assert ops._wait(ops._submit("ping", None)) == "pong"
+        finally:
+            ops.shutdown()
+
+
+class TestDMRGSurvivesWorkerDeath:
+    def test_energy_bit_identical_after_pre_run_kill(self):
+        """A worker dead before the sweep is discovered and replaced."""
+        from repro.backends import ListBackend
+        from repro.ctf import BLUE_WATERS, SimWorld
+        from repro.dmrg import DMRGConfig, Sweeps, dmrg
+        from repro.models import heisenberg_chain_model
+        from repro.mps import MPS, build_mpo
+        from repro.symmetry import BlockOps
+
+        lattice, sites, opsum, config_state = heisenberg_chain_model(8)
+        mpo = build_mpo(opsum, sites, compress=True)
+        psi0 = MPS.product_state(sites, config_state)
+        config = DMRGConfig(sweeps=Sweeps.fixed(16, 2, cutoff=1e-10))
+
+        world = SimWorld(nodes=4, procs_per_node=16, machine=BLUE_WATERS)
+        res_np, _ = dmrg(mpo, psi0, config,
+                         backend=ListBackend(world, block_ops=BlockOps()),
+                         rng=np.random.default_rng(3))
+
+        ops = fresh_ops()
+        try:
+            ops._ensure_started()
+            kill_worker(ops, 0)
+            world = SimWorld(nodes=4, procs_per_node=16,
+                             machine=BLUE_WATERS)
+            res_proc, _ = dmrg(mpo, psi0, config,
+                               backend=ListBackend(world, block_ops=ops),
+                               rng=np.random.default_rng(3))
+            assert res_proc.energy == res_np.energy
+            assert ops.respawns >= 1
+        finally:
+            ops.shutdown()
+
+
+class TestShutdownHygiene:
+    def test_shutdown_after_crash_unlinks_everything(self):
+        ops = fresh_ops()
+        rng = np.random.default_rng(6)
+        pinned = ops.prepare(rng.standard_normal((16, 16)))
+        ops.matmul(pinned, np.asarray(pinned))
+        kill_worker(ops, 0)
+        created = set(ops._shm.segment_names())
+        assert created
+        ops.shutdown()
+        assert ops._shm.segment_names() == ()
+        assert not (created & set(shm.live_segment_names()))
+
+    def test_shutdown_is_idempotent(self):
+        ops = fresh_ops()
+        ops._wait(ops._submit("ping", None))
+        ops.shutdown()
+        ops.shutdown()
+        assert ops._workers == []

@@ -1,0 +1,171 @@
+"""Property-based tests (hypothesis) for the process-parallel executor.
+
+Randomized charge sectors, block shapes and memory layouts, always judged
+by exact equality against the serial numpy kernels: the process executor
+is an execution seam, so there is no tolerance to tune — any deviation is
+a layout or accumulation-order bug.  The executor runs with its dispatch
+thresholds forced to zero so every example actually crosses the process
+boundary, and the module teardown asserts the shared-memory arena kept no
+segments alive.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ctf import shm
+from repro.symmetry import BlockOps, BlockSparseTensor, Index
+from repro.symmetry.procops import ProcessOps
+
+
+@pytest.fixture(scope="module")
+def procops():
+    """One forced-dispatch executor shared by every example (pool reuse)."""
+    ops = ProcessOps(max_workers=2, min_dispatch_flops=0.0, min_pin_bytes=0)
+    yield ops
+    before = set(ops._shm.segment_names())
+    ops.shutdown()
+    assert ops._shm.segment_names() == ()
+    # shutdown unlinked everything this executor ever created
+    assert not (before & set(shm.live_segment_names()))
+
+
+@pytest.fixture(scope="module")
+def serial():
+    return BlockOps()
+
+
+@st.composite
+def gemm_operands(draw):
+    """A GEMM pair with a randomized memory layout per operand."""
+    m = draw(st.integers(1, 24))
+    k = draw(st.integers(1, 24))
+    n = draw(st.integers(1, 24))
+    seed = draw(st.integers(0, 2 ** 16))
+    rng = np.random.default_rng(seed)
+
+    def materialize(shape, layout):
+        rows, cols = shape
+        if layout == "F":
+            return rng.standard_normal((cols, rows)).T
+        if layout == "strided":
+            big = rng.standard_normal((2 * rows, 2 * cols))
+            return big[::2, ::2]
+        return rng.standard_normal((rows, cols))
+
+    layouts = st.sampled_from(["C", "F", "strided"])
+    a = materialize((m, k), draw(layouts))
+    b = materialize((k, n), draw(layouts))
+    return a, b
+
+
+@settings(max_examples=40, deadline=None)
+@given(gemm_operands())
+def test_matmul_bit_identical(procops, serial, pair):
+    a, b = pair
+    np.testing.assert_array_equal(procops.matmul(a, b), serial.matmul(a, b))
+
+
+@settings(max_examples=25, deadline=None)
+@given(gemm_operands())
+def test_matmul_out_bit_identical(procops, serial, pair):
+    a, b = pair
+    got = np.full((a.shape[0], b.shape[1]), np.nan)
+    want = np.full((a.shape[0], b.shape[1]), np.nan)
+    procops.matmul(a, b, out=got)
+    serial.matmul(a, b, out=want)
+    np.testing.assert_array_equal(got, want)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(1, 30), st.integers(1, 30), st.integers(0, 2 ** 16))
+def test_factorizations_bit_identical(procops, serial, m, n, seed):
+    mat = np.random.default_rng(seed).standard_normal((m, n))
+    for got, want in zip(procops.svd(mat), serial.svd(mat)):
+        np.testing.assert_array_equal(got, want)
+    for got, want in zip(procops.qr(mat), serial.qr(mat)):
+        np.testing.assert_array_equal(got, want)
+
+
+@st.composite
+def u1_index(draw, max_sectors=3, max_dim=4):
+    nsec = draw(st.integers(1, max_sectors))
+    charges = draw(st.lists(st.integers(-2, 2), min_size=nsec,
+                            max_size=nsec, unique=True))
+    dims = draw(st.lists(st.integers(1, max_dim), min_size=nsec,
+                         max_size=nsec))
+    flow = draw(st.sampled_from([1, -1]))
+    return Index([(c,) for c in charges], dims, flow=flow)
+
+
+@st.composite
+def contraction_pair(draw):
+    """A rank-3 tensor and rank-2 partner over random charge sectors."""
+    i1 = draw(u1_index())
+    i2 = draw(u1_index())
+    i3 = draw(u1_index())
+    i4 = draw(u1_index())
+    seed = draw(st.integers(0, 2 ** 16))
+    rng = np.random.default_rng(seed)
+    a = BlockSparseTensor.random([i1, i2, i3], flux=(0,), rng=rng)
+    b = BlockSparseTensor.random([i3.dual(), i4], flux=(0,), rng=rng)
+    return a, b
+
+
+@settings(max_examples=30, deadline=None)
+@given(contraction_pair())
+def test_planned_contraction_bit_identical(procops, serial, pair):
+    """Random charge structure through the fused/batched engine: exact."""
+    from repro.backends import DirectBackend
+
+    a, b = pair
+    got = DirectBackend(block_ops=procops).contract(a, b, axes=([2], [0]))
+    want = DirectBackend(block_ops=serial).contract(a, b, axes=([2], [0]))
+    if not isinstance(want, BlockSparseTensor):
+        assert np.asarray(got) == np.asarray(want)
+        return
+    assert set(got.blocks) == set(want.blocks)
+    for key, blk in want.blocks.items():
+        np.testing.assert_array_equal(got.blocks[key], blk)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.integers(1, 10), min_size=1, max_size=5),
+       st.integers(1, 12), st.sampled_from(["C", "F"]),
+       st.integers(0, 2 ** 16))
+def test_panels_replicate_numpy_layout(procops, cols, rows, order, seed):
+    """concat/stack panels carry numpy's exact strides, not just values."""
+    rng = np.random.default_rng(seed)
+    mats = []
+    for c in cols:
+        m = rng.standard_normal((rows, c))
+        mats.append(np.asfortranarray(m) if order == "F" else m)
+    got = procops.concat(mats, axis=1)
+    want = np.concatenate(mats, axis=1)
+    np.testing.assert_array_equal(got, want)
+    assert got.strides == want.strides
+    same = [np.asfortranarray(rng.standard_normal((rows, cols[0])))
+            if order == "F" else rng.standard_normal((rows, cols[0]))
+            for _ in range(3)]
+    got = procops.stack(same)
+    want = np.stack(same)
+    np.testing.assert_array_equal(got, want)
+    assert got.strides == want.strides
+
+
+def test_scratch_recycling_never_leaks_segments():
+    """A short-lived executor unlinks everything it created at shutdown."""
+    ops = ProcessOps(max_workers=2, min_dispatch_flops=0.0, min_pin_bytes=0)
+    rng = np.random.default_rng(0)
+    for _ in range(5):
+        a = ops.prepare(rng.standard_normal((16, 16)))
+        b = ops.prepare(rng.standard_normal((16, 16)))
+        ops.matmul(a, b)
+        ops.svd(np.asarray(a))
+    created = set(ops._shm.segment_names())
+    assert created  # the run really did allocate shared panels
+    ops.shutdown()
+    assert ops._shm.segment_names() == ()
+    assert not (created & set(shm.live_segment_names()))

@@ -1,8 +1,8 @@
 # Development entry points for the SC'20 distributed-DMRG reproduction.
 #
 #   make check          - everything CI runs: tests + threaded-kernel smoke +
-#                         process-executor smoke + docstring gate + bench
-#                         smoke + campaign smoke
+#                         process-executor smoke (shadow race checker on) +
+#                         static analysis gates + bench smoke + campaign smoke
 #   make test           - tier-1 test suite (pytest, stops at first failure)
 #   make test-threaded  - tier-1 smoke subset re-run with the threaded
 #                         block-ops kernels (REPRO_BLOCK_OPS=threaded), so
@@ -10,10 +10,17 @@
 #   make test-process   - the same smoke subset plus the conformance suite
 #                         under the process executor with every kernel forced
 #                         through the workers (REPRO_BLOCK_OPS=process,
-#                         REPRO_PROCESS_MIN_DISPATCH=0): shared-memory
-#                         panels, descriptor shipping and respawn logic get
-#                         end-to-end coverage
-#   make doccheck       - docstring-presence gate over the public ctf/ surface
+#                         REPRO_PROCESS_MIN_DISPATCH=0) and the online
+#                         schedule-race shadow checker attached
+#                         (REPRO_ANALYZE=shadow): shared-memory panels,
+#                         descriptor shipping, respawn logic and the
+#                         happens-before invariants get end-to-end coverage
+#   make analyze        - static correctness gates (python -m repro analyze):
+#                         repo-invariant lint, matvec-program aliasing
+#                         verification, schedule race detection on a traced
+#                         executor run; emits BENCH_analyze.json
+#   make doccheck       - alias for the lint pass (docstring presence is now
+#                         one of its rules; subsumes tools/check_docstrings.py)
 #   make bench-smoke    - measured benchmarks at tiny sizes + plan-aware
 #                         cost-model invariants (python -m repro bench --smoke);
 #                         emits the machine-readable BENCH_smoke.json artifact
@@ -25,10 +32,10 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check test test-threaded test-process doccheck bench-smoke \
+.PHONY: check test test-threaded test-process analyze doccheck bench-smoke \
 	campaign-smoke bench
 
-check: test test-threaded test-process doccheck bench-smoke campaign-smoke
+check: test test-threaded test-process analyze bench-smoke campaign-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -40,12 +47,16 @@ test-threaded:
 
 test-process:
 	REPRO_BLOCK_OPS=process REPRO_PROCESS_MIN_DISPATCH=0 \
+		REPRO_ANALYZE=shadow \
 		$(PYTHON) -m pytest -x -q \
 		tests/test_blockops_conformance.py tests/test_procops_faults.py \
 		tests/test_matvec.py tests/test_dmrg.py
 
+analyze:
+	$(PYTHON) -m repro analyze --json BENCH_analyze.json
+
 doccheck:
-	$(PYTHON) tools/check_docstrings.py src/repro/ctf
+	$(PYTHON) -m repro analyze --target lint
 
 bench-smoke:
 	$(PYTHON) -m repro bench --smoke --json BENCH_smoke.json

@@ -1,0 +1,280 @@
+"""Aliasing and buffer-liveness verifier for compiled matvec programs.
+
+A :class:`~repro.symmetry.matvec.MatvecProgram` is a fully lowered pipeline:
+every stage's GEMMs write through precomputed ``out=`` destination views
+into buffers issued by a pooled
+:class:`~repro.symmetry.matvec.WorkspaceArena`, and stage ``N+1`` reads
+stage ``N``'s output matrices through integer slot maps.  A wrong slot map
+or a pool bug that reissues a live buffer would not crash — it would
+silently corrupt an operand mid-pipeline and surface, much later, as a
+flaky numeric diff.
+
+This module proves the memory discipline statically, per program:
+
+* **disjoint outputs** — the GEMM units of a stage (which the threaded and
+  process executors run concurrently) write pairwise non-overlapping
+  destinations;
+* **no destination aliases a live input** — a unit's ``out=`` view shares
+  no memory with its own operands, with any other unit's constant operands
+  (fused panels, batch stacks, matricized static blocks), with the stage's
+  staged gather buffers, or with the previous stage's output matrices that
+  this stage still reads;
+* **no live arena reissue** — the buffers a program owns
+  (:meth:`MatvecProgram.owned_buffers`) are pairwise disjoint: the arena
+  never handed the same bytes out twice while both holders were live (and
+  across the live programs of one compiler, via :func:`verify_compiler`);
+* **final-buffer tiling** — the last stage packs every output block into
+  one flat result buffer through ``(offset, size)`` slices; those slices
+  must tile without overlap and stay in bounds.
+
+Memory questions are answered with numpy itself (``np.shares_memory``,
+exact mode), so strided panel views, transposed scratch and
+shared-memory-backed buffers are all handled.  ``tests/conftest.py`` hooks
+:meth:`MatvecCompiler._try_compile` so every program compiled anywhere in
+the tier-1 suite passes through :func:`verify_program`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["AliasFinding", "AliasReport", "verify_compiler",
+           "verify_program", "verify_sample_programs"]
+
+
+@dataclass(frozen=True)
+class AliasFinding:
+    """One aliasing violation, located to the exact stage and unit."""
+
+    rule: str                 #: ``out-overlap`` | ``out-aliases-input`` |
+                              #: ``live-input-overlap`` | ``arena-reissue`` |
+                              #: ``final-overlap``
+    stage: Optional[int]      #: stage index (``None`` for program-level)
+    unit: Optional[int]       #: GEMM unit index within the stage
+    detail: str
+
+    def render(self) -> str:
+        """One human-readable line naming the exact location."""
+        where = "program" if self.stage is None else f"stage {self.stage}"
+        if self.unit is not None:
+            where += f", unit {self.unit}"
+        return f"{self.rule} at {where}: {self.detail}"
+
+
+@dataclass
+class AliasReport:
+    """Outcome of verifying one program (or a compiler's programs)."""
+
+    stages: int = 0
+    units_checked: int = 0
+    buffers_checked: int = 0
+    findings: List[AliasFinding] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every check passed."""
+        return not self.findings
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready summary for the ``repro analyze --json`` artifact."""
+        return {"stages": self.stages, "units_checked": self.units_checked,
+                "buffers_checked": self.buffers_checked,
+                "violations": [f.render() for f in self.findings],
+                "ok": self.ok}
+
+    def render(self) -> str:
+        """Multi-line human-readable summary."""
+        head = (f"program aliasing check: {self.stages} stages, "
+                f"{self.units_checked} GEMM units, "
+                f"{self.buffers_checked} arena buffers -> "
+                f"{'OK' if self.ok else f'{len(self.findings)} violation(s)'}")
+        return "\n".join([head] + [f"  {f.render()}" for f in self.findings])
+
+    def merge(self, other: "AliasReport") -> None:
+        """Accumulate another report's counters and findings."""
+        self.stages += other.stages
+        self.units_checked += other.units_checked
+        self.buffers_checked += other.buffers_checked
+        self.findings.extend(other.findings)
+
+
+def _shares(a: np.ndarray, b: np.ndarray) -> bool:
+    """Exact memory-overlap test (cheap bounds test first)."""
+    if a.size == 0 or b.size == 0:
+        return False
+    if not np.may_share_memory(a, b):
+        return False
+    return bool(np.shares_memory(a, b))
+
+
+def _resolve(ref, dmats) -> Optional[np.ndarray]:
+    """The array a unit operand ref names, or ``None`` if external.
+
+    ``("c", arr)`` consts resolve directly; ``("d", slot)`` dynamics
+    resolve to the stage's staged buffer when one exists (``None`` means
+    the slot is bound at execution time to a caller-owned input block).
+    """
+    kind, val = ref
+    if kind == "c":
+        return val
+    return dmats[val]
+
+
+def _stage_live_inputs(st, prev) -> List[np.ndarray]:
+    """Every array the stage's GEMMs may read while its outputs are written.
+
+    Constant unit operands (panels, stacks, static matrices), staged gather
+    buffers, and — for stages past the first — the previous stage's output
+    matrices referenced by this stage's gather maps.
+    """
+    live: List[np.ndarray] = []
+    for _, lhs, rhs, _ in st.units:
+        for ref in (lhs, rhs):
+            arr = _resolve(ref, st.dmats)
+            if arr is not None:
+                live.append(arr)
+    if prev is not None:
+        for g in st.gathers:
+            src = g[2]
+            if isinstance(src, int) and prev.result_mats[src] is not None:
+                live.append(prev.result_mats[src])
+    return live
+
+
+def verify_program(program) -> AliasReport:
+    """Statically verify one compiled :class:`MatvecProgram`.
+
+    Checks every stage's GEMM units for overlapping destinations and
+    destination-aliases-live-input violations, the final stage's result
+    tiling, and the program's owned arena buffers for reissue; returns an
+    :class:`AliasReport` whose findings carry exact (stage, unit)
+    locations.
+    """
+    report = AliasReport()
+    stages = list(program.stages)
+    report.stages = len(stages)
+    prev = None
+    for si, st in enumerate(stages):
+        live = _stage_live_inputs(st, prev)
+        outs: List[np.ndarray] = []
+        for ui, unit in enumerate(st.units):
+            report.units_checked += 1
+            _, lhs, rhs, out = unit
+            if st.is_final:
+                off, shape = out
+                size = int(np.prod(shape))
+                for prev_ui, (poff, psize) in enumerate(outs_final):
+                    if off < poff + psize and poff < off + size:
+                        report.findings.append(AliasFinding(
+                            "final-overlap", si, ui,
+                            f"result slice [{off}, {off + size}) overlaps "
+                            f"unit {prev_ui}'s [{poff}, {poff + psize})"))
+                if off + size > st.final_size:
+                    report.findings.append(AliasFinding(
+                        "final-overlap", si, ui,
+                        f"result slice [{off}, {off + size}) exceeds the "
+                        f"final buffer of {st.final_size} elements"))
+                outs_final.append((off, size))
+                continue
+            # destination vs this unit's own operands
+            for ref in (lhs, rhs):
+                arr = _resolve(ref, st.dmats)
+                if arr is not None and _shares(out, arr):
+                    report.findings.append(AliasFinding(
+                        "out-aliases-input", si, ui,
+                        f"out= destination {out.shape} shares memory with "
+                        f"a {'constant' if ref[0] == 'c' else 'staged'} "
+                        f"operand {arr.shape}"))
+            # destination vs every earlier destination of this stage
+            for prev_ui, other in enumerate(outs):
+                if _shares(out, other):
+                    report.findings.append(AliasFinding(
+                        "out-overlap", si, ui,
+                        f"destination {out.shape} overlaps unit "
+                        f"{prev_ui}'s destination {other.shape}; the "
+                        f"executors write these concurrently"))
+            outs.append(out)
+        if st.is_final:
+            # per-block packing must also tile without overlap
+            blocks = sorted((off, size) for _, off, size, _ in
+                            st.final_blocks)
+            for (o1, s1), (o2, _) in zip(blocks, blocks[1:]):
+                if o1 + s1 > o2:
+                    report.findings.append(AliasFinding(
+                        "final-overlap", si, None,
+                        f"final block slices [{o1}, {o1 + s1}) and "
+                        f"[{o2}, ...) overlap"))
+        else:
+            # destinations vs everything the stage still reads
+            for ui, out in enumerate(outs):
+                for arr in live:
+                    if _shares(out, arr):
+                        report.findings.append(AliasFinding(
+                            "live-input-overlap", si, ui,
+                            f"destination {out.shape} overlaps a live "
+                            f"input matrix {arr.shape} of this stage"))
+                        break
+        prev = st
+        outs_final: List[tuple] = []
+    # arena liveness: no buffer issued twice while the program holds both
+    owned: Sequence[np.ndarray] = program.owned_buffers()
+    report.buffers_checked = len(owned)
+    for i in range(len(owned)):
+        for j in range(i + 1, len(owned)):
+            if _shares(owned[i], owned[j]):
+                report.findings.append(AliasFinding(
+                    "arena-reissue", None, None,
+                    f"arena buffers #{i} {owned[i].shape} and #{j} "
+                    f"{owned[j].shape} share memory while both are live"))
+    return report
+
+
+def verify_compiler(compiler) -> AliasReport:
+    """Verify every live program of a compiler, plus cross-program liveness.
+
+    Two programs cached under different input signatures are both live
+    until ``release()``; their owned arena buffers must therefore be
+    mutually disjoint as well.
+    """
+    report = AliasReport()
+    programs = list(compiler.iter_programs())
+    for program in programs:
+        report.merge(verify_program(program))
+    for i in range(len(programs)):
+        for j in range(i + 1, len(programs)):
+            for a in programs[i].owned_buffers():
+                for b in programs[j].owned_buffers():
+                    if _shares(a, b):
+                        report.findings.append(AliasFinding(
+                            "arena-reissue", None, None,
+                            f"programs #{i} and #{j} both own live arena "
+                            f"bytes ({a.shape} vs {b.shape})"))
+    return report
+
+
+def verify_sample_programs(*, nsites: int = 8, maxdim: int = 12,
+                           models: Sequence[str] = ("heisenberg", "hubbard")
+                           ) -> Dict[str, AliasReport]:
+    """Compile and verify representative programs (``repro analyze`` target).
+
+    Builds the mid-chain two-site effective Hamiltonian for each model,
+    traces and compiles its matvec program, and runs
+    :func:`verify_compiler` on the result; returns one report per model.
+    """
+    from ..backends.base import DirectBackend
+    from ..dmrg import EffectiveHamiltonian
+    from ..perf.matvec_bench import heff_setup
+
+    reports: Dict[str, AliasReport] = {}
+    for model in models:
+        left, w1, w2, right, x = heff_setup(nsites, maxdim, model=model)
+        heff = EffectiveHamiltonian(left, w1, w2, right, DirectBackend(),
+                                    compile=True)
+        heff.apply(x)   # traced: compiles the program
+        heff.apply(x)   # compiled: the program must actually serve
+        reports[model] = verify_compiler(heff._get_compiler())
+        heff.release()
+    return reports

@@ -47,6 +47,14 @@ The subcommands cover the everyday workflows:
     the perf trajectory can be tracked across commits (``make bench-smoke``
     emits ``BENCH_smoke.json``).
 
+``python -m repro analyze [--target schedule|program|lint] [--json PATH]``
+    Static correctness gates (:mod:`repro.analysis`): the repo-invariant
+    linter over ``src/repro``, the aliasing/liveness verifier on freshly
+    compiled matvec programs, and the schedule race detector on a traced
+    process-executor run.  Exit 1 on any finding; ``--json`` writes the
+    rule counts / jobs checked / programs verified artifact ``make
+    analyze`` tracks (``BENCH_analyze.json``).
+
 The CLI only composes the public library API — everything it does can be done
 from a notebook with the same calls — but it gives the benchmark scripts and
 the documentation a single reproducible entry point.
@@ -418,6 +426,44 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return rc
 
 
+def cmd_analyze(args: argparse.Namespace) -> int:
+    """Run the static correctness passes (lint, program aliasing, schedule)."""
+    rc = 0
+    emitted: Dict[str, object] = {}
+    if args.target in ("all", "lint"):
+        from .analysis import format_lint_report, run_lint
+        report = run_lint()
+        print(format_lint_report(report))
+        emitted["lint"] = report.as_dict()
+        rc = max(rc, 0 if report.ok else 1)
+    if args.target in ("all", "program"):
+        from .analysis import verify_sample_programs
+        programs: Dict[str, object] = {}
+        for model, rep in verify_sample_programs().items():
+            print(f"{model}: {rep.render()}")
+            programs[model] = rep.as_dict()
+            rc = max(rc, 0 if rep.ok else 1)
+        emitted["program"] = programs
+    if args.target in ("all", "schedule"):
+        from .analysis import trace_executor_schedule
+        rep = trace_executor_schedule()
+        print(rep.render())
+        emitted["schedule"] = rep.as_dict()
+        rc = max(rc, 0 if rep.ok else 1)
+    if args.json:
+        artifact = {
+            "schema": "repro-analyze/1",
+            "created_unix": time.time(),
+            "target": args.target,
+            "ok": rc == 0,
+            "passes": emitted,
+        }
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(artifact, fh, indent=2, sort_keys=True, default=float)
+        print(f"analysis report saved: {args.json}")
+    return rc
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -543,6 +589,17 @@ def build_parser() -> argparse.ArgumentParser:
                       help="tiny smoke sizes (the default; the flag makes "
                            "the intent explicit in scripts/CI)")
     p_bench.set_defaults(func=cmd_bench)
+
+    p_analyze = sub.add_parser(
+        "analyze", help="run the static correctness passes "
+                        "(lint, program aliasing, schedule races)")
+    p_analyze.add_argument("--target", default="all",
+                           choices=["all", "schedule", "program", "lint"])
+    p_analyze.add_argument("--json", default=None, metavar="PATH",
+                           help="write rule counts, jobs checked and "
+                                "programs verified to this JSON artifact "
+                                "(e.g. BENCH_analyze.json)")
+    p_analyze.set_defaults(func=cmd_analyze)
     return parser
 
 

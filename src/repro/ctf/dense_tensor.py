@@ -16,6 +16,7 @@ from typing import Sequence, Tuple
 import numpy as np
 
 from ..perf import flops as flopcount
+from ..symmetry.blockops import resolve_block_ops
 from .distribution import Distribution
 from .world import SimWorld
 
@@ -43,7 +44,7 @@ class DistTensor:
     def random(cls, shape: Sequence[int], world: SimWorld,
                rng: np.random.Generator | None = None) -> "DistTensor":
         """A standard-normal distributed tensor."""
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else np.random.default_rng(0)
         return cls(rng.standard_normal(tuple(shape)), world)
 
     # -- structure ----------------------------------------------------------
@@ -81,7 +82,8 @@ class DistTensor:
         """Contract with another distributed tensor (dense 3D-algorithm cost)."""
         if other.world is not self.world:
             raise ValueError("tensors live on different worlds")
-        result = np.tensordot(self.data, other.data, axes=axes)
+        result = resolve_block_ops(None).tensordot(self.data, other.data,
+                                                   axes=axes)
         nflops = flopcount.contraction_flops(self.data.shape, other.data.shape,
                                              tuple(axes[0]), tuple(axes[1]))
         flopcount.add_flops(nflops, "gemm")

@@ -30,7 +30,7 @@ def distributed_svd(matrix: np.ndarray, world: SimWorld,
     distributed-dense paths alike.
     """
     if full_matrices:
-        u, s, vh = np.linalg.svd(matrix, full_matrices=True)
+        u, s, vh = np.linalg.svd(matrix, full_matrices=True)  # repro-lint: ok(blockops-route): BlockOps.svd is thin by contract; the full-matrices reference path stays on numpy
     else:
         u, s, vh = resolve_block_ops(ops).svd(matrix)
     flopcount.add_flops(flopcount.svd_flops(*matrix.shape), "svd")

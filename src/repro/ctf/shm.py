@@ -142,10 +142,13 @@ class ShmArena:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._segments: Dict[str, _shm.SharedMemory] = {}
-        #: id(root ndarray) -> (segment name, segment base address); the
-        #: root arrays are kept referenced so the ids stay valid for the
-        #: arena's lifetime
-        self._roots: Dict[int, Tuple[str, int]] = {}
+        #: id(root ndarray) -> (segment name, segment base address, byte
+        #: offset of the allocation, allocation nbytes): the exact extent of
+        #: every panel handle, recorded at carve time so the race detector
+        #: reads byte ranges instead of reconstructing them.  The root
+        #: arrays are kept referenced so the ids stay valid for the arena's
+        #: lifetime.
+        self._roots: Dict[int, Tuple[str, int, int, int]] = {}
         self._root_arrays: List[np.ndarray] = []
         #: current slab: (segment, base address, bump offset) or None
         self._slab: Optional[Tuple[_shm.SharedMemory, int, int]] = None
@@ -186,9 +189,14 @@ class ShmArena:
                 offset = used
                 step = -(-nbytes // self.SLAB_ALIGN) * self.SLAB_ALIGN
                 self._slab = (segment, base, used + step)
+            if offset < 0 or offset + nbytes > segment.size:
+                raise ValueError(
+                    f"allocation extent [{offset}, {offset + nbytes}) "
+                    f"escapes segment {segment.name!r} of {segment.size} "
+                    "bytes")
             root = np.ndarray((size,), dtype=dtype, buffer=segment.buf,
                               offset=offset)
-            self._roots[id(root)] = (segment.name, base)
+            self._roots[id(root)] = (segment.name, base, offset, nbytes)
             self._root_arrays.append(root)
         return root.reshape(shape)
 
@@ -204,10 +212,24 @@ class ShmArena:
             entry = self._roots.get(id(root))
         if entry is None:
             return None
-        name, base_addr = entry
+        name, base_addr, _, _ = entry
         offset = arr.__array_interface__["data"][0] - base_addr
         return ("shm", name, int(offset), arr.shape, arr.strides,
                 arr.dtype.str)
+
+    def extent_of(self, arr: np.ndarray) -> Optional[Tuple[str, int, int]]:
+        """Exact ``(slab_id, offset, nbytes)`` extent of a panel handle.
+
+        The extent of the *allocation* backing ``arr`` (any view of it maps
+        to the same extent), recorded and bounds-checked at carve time;
+        ``None`` for arrays the arena does not own.
+        """
+        with self._lock:
+            entry = self._roots.get(id(_root_of(arr)))
+        if entry is None:
+            return None
+        name, _, offset, nbytes = entry
+        return (name, offset, nbytes)
 
     def segment_names(self) -> Tuple[str, ...]:
         """Names of the live segments this arena created."""

@@ -122,7 +122,7 @@ def davidson(apply_h: Callable[[BlockSparseTensor], BlockSparseTensor],
         iterations = it
         k = len(basis)
         mk = m[:k, :k]
-        evals, evecs = np.linalg.eigh((mk + mk.conj().T) / 2.0)
+        evals, evecs = np.linalg.eigh((mk + mk.conj().T) / 2.0)  # repro-lint: ok(blockops-route): the tiny subspace solve must stay full precision even under MixedPrecisionOps
         lam = float(evals[0])
         s = evecs[:, 0]
         if basis[0].dtype in (np.dtype(np.float32), np.dtype(np.complex64)):

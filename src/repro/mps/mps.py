@@ -76,7 +76,7 @@ class MPS:
         This mimics the block structure DMRG itself produces and is used by the
         Fig. 2 block-structure benchmark.
         """
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else np.random.default_rng(0)
         nsym = sites.nsym
         if total_charge is None:
             total_charge = zero_charge(nsym)

@@ -288,6 +288,11 @@ def run_executor_benchmark(*, nsites: int = 24, maxdim: int = 48,
         }
         if name == "process":
             results["executor_stats"] = ops.describe()
+            # recorded so modelled-vs-measured numbers are never silently
+            # compared across instrumented and uninstrumented runs: the
+            # shadow race checker adds per-submit overhead to wall-clock
+            results["shadow_checker"] = bool(
+                results["executor_stats"].get("shadow_checker", False))
             ops.shutdown()
     num, proc = modelled["numpy"], modelled["process"]
     results["dmrg_energy_numpy"] = num["energy"]
@@ -332,6 +337,7 @@ def format_executor_benchmark(stats: Dict[str, object]) -> str:
         ("jobs dispatched", executor.get("dispatched", "?")),
         ("worker respawns", executor.get("respawns", "?")),
         ("shared bytes", executor.get("shm_bytes", "?")),
+        ("shadow checker", executor.get("shadow_checker", "?")),
     ]
     out = [format_table(["metric", "value"], rows,
                         title="Process executor: real SUMMA schedules vs "

@@ -168,7 +168,7 @@ class BlockSparseTensor:
                rng: np.random.Generator | None = None,
                dtype=np.float64) -> "BlockSparseTensor":
         """A tensor with every allowed block filled with standard normals."""
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else np.random.default_rng(0)
         t = cls(indices, {}, flux=flux, dtype=dtype, check=False)
         for key in t.allowed_keys():
             shape = t.block_shape(key)

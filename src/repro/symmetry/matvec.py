@@ -351,6 +351,25 @@ class MatvecProgram:
                                  flux=self._out_flux, dtype=self._out_dtype,
                                  check=False)
 
+    @property
+    def stages(self):
+        """The compiled stages, in execution order (read-only view).
+
+        Exposed for the static aliasing verifier
+        (:mod:`repro.analysis.aliasing`); the stage objects themselves are
+        live program state — do not mutate them.
+        """
+        return tuple(self._stages)
+
+    def owned_buffers(self):
+        """The arena buffers this program holds until :meth:`release`.
+
+        These are the live allocations whose pairwise disjointness the
+        aliasing verifier proves (a reissued-while-live arena buffer would
+        silently corrupt an intermediate).
+        """
+        return tuple(self._owned)
+
     def release(self) -> None:
         """Return every arena buffer this program owns to the pool."""
         for buf in self._owned:
@@ -661,6 +680,10 @@ class MatvecCompiler:
     def programs(self) -> int:
         """Number of live compiled programs (one per input signature)."""
         return len(self._programs)
+
+    def iter_programs(self):
+        """The live compiled programs (for the static aliasing verifier)."""
+        return tuple(self._programs.values())
 
 
 class _Uncompilable(Exception):

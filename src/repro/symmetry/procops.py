@@ -33,7 +33,8 @@ Environment knobs (read at construction): ``REPRO_PROCESS_WORKERS`` (pool
 size), ``REPRO_PROCESS_MIN_DISPATCH`` (flop threshold below which kernels
 run locally; ``0`` forces everything through the workers, used by
 ``make test-process``), ``REPRO_PROCESS_START`` (multiprocessing start
-method).
+method), ``REPRO_ANALYZE=shadow`` (attach an online schedule-race shadow
+checker, :mod:`repro.analysis.schedule`).
 """
 
 from __future__ import annotations
@@ -75,8 +76,8 @@ def _execute_job(kernels: BlockOps, cache: dict, kind: str, payload):
         b = resolve_descriptor(payload[1], cache)
         out_desc = payload[2]
         if out_desc is None:
-            return a @ b
-        np.matmul(a, b, out=resolve_descriptor(out_desc, cache))
+            return kernels.matmul(a, b)
+        kernels.matmul(a, b, out=resolve_descriptor(out_desc, cache))
         return None
     if kind == "svd":
         return kernels.svd(resolve_descriptor(payload, cache))
@@ -232,6 +233,13 @@ class ProcessOps(ThreadedOps):
         self.respawns = 0
         self.timeouts = 0
         self.failures = 0
+        #: optional :class:`repro.analysis.schedule.ScheduleTrace`; set by
+        #: :meth:`attach_trace`, or auto-constructed as an online shadow
+        #: checker when ``REPRO_ANALYZE=shadow`` (``make test-process``)
+        self.trace = None
+        if os.environ.get("REPRO_ANALYZE", "").strip().lower() == "shadow":
+            from ..analysis.schedule import ScheduleTrace
+            self.trace = ScheduleTrace(shadow=True)
         atexit.register(self.shutdown)
 
     # -- pool lifecycle ---------------------------------------------------- #
@@ -384,6 +392,10 @@ class ProcessOps(ThreadedOps):
         """Queue a job on a worker (least-loaded unless pinned); non-blocking."""
         self._ensure_started()
         job = _Job(next(self._job_seq), kind, payload)
+        if self.trace is not None:
+            # before registration/sending: a shadow-mode race raises here
+            # with nothing enqueued, so the pool stays consistent
+            self.trace.record_submit(job.id, kind, payload)
         with self._plock:
             idx = self._pick_worker() if worker is None else worker
             job.worker = idx
@@ -422,6 +434,10 @@ class ProcessOps(ThreadedOps):
                 self._recover(worker, "crash")
             elif stuck:
                 self._recover(worker, "timeout")
+        if self.trace is not None:
+            # parent-observed completion: only now is the job's effect
+            # ordered before anything this thread does next
+            self.trace.record_complete(job.id)
         if job.error is not None:
             raise ExecutorError(f"{job.kind} job {job.id}: {job.error}")
         return job.result
@@ -503,6 +519,10 @@ class ProcessOps(ThreadedOps):
         with self._plock:
             stack = self._scratch_free.get(key)
             flat = stack.pop() if stack else None
+        if flat is not None and self.trace is not None:
+            desc = self._shm.describe(flat)
+            if desc is not None:
+                self.trace.record_reuse(desc)
         if flat is None:
             flat = self._shm.allocate((size,), dtype)
             # refcount of the root with no caller views alive; a buffer is
@@ -683,7 +703,8 @@ class ProcessOps(ThreadedOps):
     def tensordot(self, a: np.ndarray, b: np.ndarray, axes) -> np.ndarray:
         # the naive per-pair path: local, and without scratch pinning (its
         # operands are used exactly once, straight out of the block dict)
-        return np.tensordot(a, b, axes=axes)
+        return np.tensordot(  # repro-lint: ok(blockops-route): this override IS the seam; recursing through prepare() would pin single-use operands
+            a, b, axes=axes)
 
     def _factorization_dispatchable(self, mat: np.ndarray) -> bool:
         if mat.ndim != 2 or mat.size == 0 or self.num_workers < 1:
@@ -737,6 +758,16 @@ class ProcessOps(ThreadedOps):
 
     # -- introspection ------------------------------------------------------- #
 
+    def attach_trace(self, trace) -> None:
+        """Attach a :class:`repro.analysis.schedule.ScheduleTrace`.
+
+        The executor reports every job submit, parent-observed completion
+        and scratch-buffer reuse to the trace; a ``shadow=True`` trace
+        raises :class:`~repro.analysis.schedule.ScheduleRaceError` the
+        moment a conflicting event happens.
+        """
+        self.trace = trace
+
     def describe(self) -> dict:
         d = super().describe()
         d.update({
@@ -749,5 +780,7 @@ class ProcessOps(ThreadedOps):
             "timeouts": self.timeouts,
             "failures": self.failures,
             "shm_bytes": self._shm.total_bytes,
+            "shadow_checker": bool(self.trace is not None
+                                   and getattr(self.trace, "shadow", False)),
         })
         return d

@@ -7,6 +7,11 @@
 #   make test-threaded  - tier-1 smoke subset re-run with the threaded
 #                         block-ops kernels (REPRO_BLOCK_OPS=threaded), so
 #                         the thread-pool executor is exercised end to end
+#   make test-compile-cache - sweep-persistent program-cache contract:
+#                         refresh-vs-retrace invalidation (bond growth,
+#                         precision promotion, environment rewrites),
+#                         steady-state zero-allocation sweeps, overlapped
+#                         compilation determinism, arena double-release guard
 #   make test-process   - the same smoke subset plus the conformance suite
 #                         under the process executor with every kernel forced
 #                         through the workers (REPRO_BLOCK_OPS=process,
@@ -32,10 +37,11 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check test test-threaded test-process analyze doccheck bench-smoke \
-	campaign-smoke bench
+.PHONY: check test test-threaded test-compile-cache test-process analyze \
+	doccheck bench-smoke campaign-smoke bench
 
-check: test test-threaded test-process analyze bench-smoke campaign-smoke
+check: test test-threaded test-compile-cache test-process analyze \
+	bench-smoke campaign-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -44,6 +50,10 @@ test-threaded:
 	REPRO_BLOCK_OPS=threaded $(PYTHON) -m pytest -x -q \
 		tests/test_blockops.py tests/test_matvec.py tests/test_dmrg.py \
 		tests/test_backends.py
+
+test-compile-cache:
+	$(PYTHON) -m pytest -x -q tests/test_compile_cache.py \
+		tests/test_matvec.py
 
 test-process:
 	REPRO_BLOCK_OPS=process REPRO_PROCESS_MIN_DISPATCH=0 \

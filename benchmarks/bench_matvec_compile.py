@@ -14,8 +14,10 @@ accounts its cached plans exactly like the lookups it replaces).
 from conftest import run_once, save_result
 
 from repro.perf.matvec_bench import (format_matvec_benchmark,
+                                     format_program_cache_benchmark,
                                      run_matvec_compile_benchmark,
-                                     run_matvec_layout_check)
+                                     run_matvec_layout_check,
+                                     run_program_cache_benchmark)
 
 
 def test_matvec_compile_speedup(benchmark):
@@ -41,6 +43,37 @@ def test_matvec_compile_smoke(benchmark):
                      dmrg_nsites=8, dmrg_maxdim=16, dmrg_nsweeps=3)
     assert stats["dmrg_energy_delta"] < 1e-10
     assert stats["plan_stats_equal"]
+
+
+def test_program_cache_whole_sweep(benchmark):
+    """Sweep-persistent program cache: refresh instead of retrace.
+
+    Whole-sweep comparison of per-visit compilation against the
+    bond-keyed program cache: numerics and cost-model statistics must be
+    bit-identical, steady-state sweeps must be refresh-only with zero
+    fresh arena allocations, and refreshing a cached program must beat
+    retracing it at these sizes.
+    """
+    stats = run_once(benchmark, run_program_cache_benchmark,
+                     nsites=8, maxdim=16, nsweeps=5, repeats=5)
+    save_result("program_cache", format_program_cache_benchmark(stats))
+    # caching is invisible to the observable results
+    assert stats["energy_delta"] < 1e-10
+    assert stats["plan_stats_equal"]
+    assert stats["sim_tracker_equal"]
+    assert stats["sim_modelled_seconds_delta"] == 0.0
+    # steady-state sweeps allocate nothing but result tensors: signatures
+    # are stable, every visit refreshes, the shared arena stays untouched
+    assert stats["steady_state_retraces"] == 0
+    assert stats["steady_state_compiles"] == 0
+    assert stats["steady_state_arena_bytes"] == 0
+    assert stats["steady_state_allocations_zero"]
+    assert stats["refresh_hit_rate"] > 0.0
+    # the acceptance bar: refreshing beats retracing, and the refresh
+    # visit performs no arena traffic at all
+    assert stats["refresh_speedup"] > 1.0
+    assert stats["refresh_visit_arena_acquires"] == 0
+    assert stats["refresh_visit_allocated_bytes"] == 0
 
 
 def test_matvec_compile_layout_tracker_unchanged(benchmark):

@@ -25,7 +25,13 @@ This module proves the memory discipline statically, per program:
   across the live programs of one compiler, via :func:`verify_compiler`);
 * **final-buffer tiling** — the last stage packs every output block into
   one flat result buffer through ``(offset, size)`` slices; those slices
-  must tile without overlap and stay in bounds.
+  must tile without overlap and stay in bounds;
+* **refresh discipline** — the static-operand refresh views recorded at
+  compile time (written by :meth:`MatvecProgram.refresh` when the
+  sweep-persistent :class:`~repro.symmetry.matvec.SweepProgramCache`
+  re-binds a bond) each write strictly inside the one arena buffer they
+  name, never into any other buffer a live program owns, and never on top
+  of another refresh destination of the same stage.
 
 Memory questions are answered with numpy itself (``np.shares_memory``,
 exact mode), so strided panel views, transposed scratch and
@@ -51,7 +57,7 @@ class AliasFinding:
 
     rule: str                 #: ``out-overlap`` | ``out-aliases-input`` |
                               #: ``live-input-overlap`` | ``arena-reissue`` |
-                              #: ``final-overlap``
+                              #: ``final-overlap`` | ``refresh-aliases-live``
     stage: Optional[int]      #: stage index (``None`` for program-level)
     unit: Optional[int]       #: GEMM unit index within the stage
     detail: str
@@ -71,6 +77,7 @@ class AliasReport:
     stages: int = 0
     units_checked: int = 0
     buffers_checked: int = 0
+    refresh_ops_checked: int = 0
     findings: List[AliasFinding] = field(default_factory=list)
 
     @property
@@ -82,6 +89,7 @@ class AliasReport:
         """JSON-ready summary for the ``repro analyze --json`` artifact."""
         return {"stages": self.stages, "units_checked": self.units_checked,
                 "buffers_checked": self.buffers_checked,
+                "refresh_ops_checked": self.refresh_ops_checked,
                 "violations": [f.render() for f in self.findings],
                 "ok": self.ok}
 
@@ -89,7 +97,8 @@ class AliasReport:
         """Multi-line human-readable summary."""
         head = (f"program aliasing check: {self.stages} stages, "
                 f"{self.units_checked} GEMM units, "
-                f"{self.buffers_checked} arena buffers -> "
+                f"{self.buffers_checked} arena buffers, "
+                f"{self.refresh_ops_checked} refresh ops -> "
                 f"{'OK' if self.ok else f'{len(self.findings)} violation(s)'}")
         return "\n".join([head] + [f"  {f.render()}" for f in self.findings])
 
@@ -98,6 +107,7 @@ class AliasReport:
         self.stages += other.stages
         self.units_checked += other.units_checked
         self.buffers_checked += other.buffers_checked
+        self.refresh_ops_checked += other.refresh_ops_checked
         self.findings.extend(other.findings)
 
 
@@ -156,6 +166,8 @@ def verify_program(program) -> AliasReport:
     report = AliasReport()
     stages = list(program.stages)
     report.stages = len(stages)
+    owned: Sequence[np.ndarray] = program.owned_buffers()
+    report.buffers_checked = len(owned)
     prev = None
     for si, st in enumerate(stages):
         live = _stage_live_inputs(st, prev)
@@ -217,11 +229,39 @@ def verify_program(program) -> AliasReport:
                             f"destination {out.shape} overlaps a live "
                             f"input matrix {arr.shape} of this stage"))
                         break
+        # refresh discipline: each recorded refresh view must write inside
+        # the one arena buffer it names and nothing else that is live
+        refresh_dsts: List[np.ndarray] = []
+        for ri, (dst, _key, _perm, owner) in enumerate(st.refreshes):
+            report.refresh_ops_checked += 1
+            if not any(buf is owner for buf in owned):
+                report.findings.append(AliasFinding(
+                    "refresh-aliases-live", si, ri,
+                    f"refresh destination {dst.shape} names an owner buffer "
+                    f"{owner.shape} the program does not own"))
+            elif not _shares(dst, owner):
+                report.findings.append(AliasFinding(
+                    "refresh-aliases-live", si, ri,
+                    f"refresh destination {dst.shape} does not write into "
+                    f"its owner buffer {owner.shape}"))
+            for buf in owned:
+                if buf is owner:
+                    continue
+                if _shares(dst, buf):
+                    report.findings.append(AliasFinding(
+                        "refresh-aliases-live", si, ri,
+                        f"refresh destination {dst.shape} overlaps a live "
+                        f"arena buffer {buf.shape} it does not own"))
+            for prev_ri, other in enumerate(refresh_dsts):
+                if _shares(dst, other):
+                    report.findings.append(AliasFinding(
+                        "refresh-aliases-live", si, ri,
+                        f"refresh destination {dst.shape} overlaps refresh "
+                        f"op {prev_ri}'s destination {other.shape}"))
+            refresh_dsts.append(dst)
         prev = st
         outs_final: List[tuple] = []
     # arena liveness: no buffer issued twice while the program holds both
-    owned: Sequence[np.ndarray] = program.owned_buffers()
-    report.buffers_checked = len(owned)
     for i in range(len(owned)):
         for j in range(i + 1, len(owned)):
             if _shares(owned[i], owned[j]):
@@ -252,6 +292,22 @@ def verify_compiler(compiler) -> AliasReport:
                             "arena-reissue", None, None,
                             f"programs #{i} and #{j} both own live arena "
                             f"bytes ({a.shape} vs {b.shape})"))
+    # a refresh of one program must never write into bytes another live
+    # program reads: check every refresh view against every other
+    # program's owned buffers
+    for i, pi in enumerate(programs):
+        for j, pj in enumerate(programs):
+            if i == j:
+                continue
+            for st in pi.stages:
+                for dst, _key, _perm, _owner in st.refreshes:
+                    for b in pj.owned_buffers():
+                        if _shares(dst, b):
+                            report.findings.append(AliasFinding(
+                                "refresh-aliases-live", None, None,
+                                f"program #{i}'s refresh destination "
+                                f"{dst.shape} overlaps live arena bytes "
+                                f"{b.shape} owned by program #{j}"))
     return report
 
 
@@ -262,19 +318,40 @@ def verify_sample_programs(*, nsites: int = 8, maxdim: int = 12,
 
     Builds the mid-chain two-site effective Hamiltonian for each model,
     traces and compiles its matvec program, and runs
-    :func:`verify_compiler` on the result; returns one report per model.
+    :func:`verify_compiler` on the result; then releases the program into
+    a sweep-persistent :class:`~repro.symmetry.matvec.SweepProgramCache`,
+    re-binds it (exercising the in-place static-operand refresh) and
+    verifies the refreshed program again, so both lifecycle paths are
+    covered.  Returns one merged report per model.
     """
     from ..backends.base import DirectBackend
     from ..dmrg import EffectiveHamiltonian
     from ..perf.matvec_bench import heff_setup
+    from ..symmetry.matvec import SweepProgramCache
 
     reports: Dict[str, AliasReport] = {}
     for model in models:
         left, w1, w2, right, x = heff_setup(nsites, maxdim, model=model)
-        heff = EffectiveHamiltonian(left, w1, w2, right, DirectBackend(),
-                                    compile=True)
+        backend = DirectBackend()
+        cache = SweepProgramCache.for_backend(backend)
+        heff = EffectiveHamiltonian(left, w1, w2, right, backend,
+                                    compile=True, programs=cache)
         heff.apply(x)   # traced: compiles the program
         heff.apply(x)   # compiled: the program must actually serve
         reports[model] = verify_compiler(heff._get_compiler())
-        heff.release()
+        heff.release()  # programs persist in the sweep cache
+        # re-visit the bond: binding refreshes the cached program in place;
+        # the refreshed program must satisfy the same memory discipline
+        revisit = EffectiveHamiltonian(left, w1, w2, right, backend,
+                                       compile=True, programs=cache)
+        revisit.apply(x)
+        reports[model].merge(verify_compiler(revisit._get_compiler()))
+        revisit.release()
+        cache.release_all()
+        if cache.refreshes == 0:
+            reports[model].findings.append(AliasFinding(
+                "refresh-aliases-live", None, None,
+                f"{model}: re-binding the cached program performed no "
+                f"refresh (retrace instead of refresh on a matching "
+                f"signature)"))
     return reports

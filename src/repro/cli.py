@@ -326,6 +326,40 @@ def cmd_bench(args: argparse.Namespace) -> int:
                   f"(|dE| = {stats['dmrg_energy_delta']:.3e}, plan stats "
                   f"equal: {stats['plan_stats_equal']})", file=sys.stderr)
             rc = 1
+        from .perf.matvec_bench import (format_program_cache_benchmark,
+                                        run_program_cache_benchmark)
+        if args.full:
+            cache_stats = run_program_cache_benchmark(nsites=12, maxdim=32,
+                                                      nsweeps=7, repeats=10,
+                                                      warmup_sweeps=4)
+        else:
+            cache_stats = run_program_cache_benchmark()
+        print(format_program_cache_benchmark(cache_stats))
+        emitted["program_cache"] = cache_stats
+        if (cache_stats["energy_delta"] > 1e-10
+                or not cache_stats["plan_stats_equal"]
+                or not cache_stats["sim_tracker_equal"]
+                or cache_stats["sim_modelled_seconds_delta"] != 0.0):
+            print("error: the program cache changed observable results "
+                  f"(|dE| = {cache_stats['energy_delta']:.3e}, plan stats "
+                  f"equal: {cache_stats['plan_stats_equal']}, tracker "
+                  f"equal: {cache_stats['sim_tracker_equal']})",
+                  file=sys.stderr)
+            rc = 1
+        if (cache_stats["steady_state_retraces"] != 0
+                or not cache_stats["steady_state_allocations_zero"]
+                or cache_stats["steady_state_arena_bytes"] != 0):
+            print("error: steady-state sweeps are not refresh-only "
+                  f"(retraces = {cache_stats['steady_state_retraces']}, "
+                  f"arena bytes = "
+                  f"{cache_stats['steady_state_arena_bytes']})",
+                  file=sys.stderr)
+            rc = 1
+        if cache_stats["refresh_speedup"] <= 1.0:
+            print("error: refreshing a cached program is not faster than "
+                  f"retracing ({cache_stats['refresh_speedup']:.2f}x)",
+                  file=sys.stderr)
+            rc = 1
     if args.target in ("all", "blockops"):
         from .perf.blockops_bench import (format_blockops_benchmark,
                                           run_blockops_benchmark)

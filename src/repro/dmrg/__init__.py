@@ -1,6 +1,7 @@
 """The DMRG engines (environments, Davidson, sweeps) and measurement layer."""
 
-from .config import DMRGConfig, DMRGResult, SiteRecord, SweepRecord, Sweeps
+from .config import (DMRGConfig, DMRGResult, ProgramStatsRecorder, SiteRecord,
+                     SweepRecord, Sweeps)
 from .davidson import DavidsonResult, davidson
 from .environments import (EnvironmentCache, extend_left, extend_right,
                            left_edge_environment, right_edge_environment)
@@ -20,7 +21,8 @@ from .checkpoint import (Checkpoint, load_checkpoint, load_mpo, load_mps,
                          save_mps)
 
 __all__ = [
-    "DMRGConfig", "DMRGResult", "SiteRecord", "SweepRecord", "Sweeps",
+    "DMRGConfig", "DMRGResult", "ProgramStatsRecorder", "SiteRecord",
+    "SweepRecord", "Sweeps",
     "DavidsonResult", "davidson", "EnvironmentCache", "extend_left",
     "extend_right", "left_edge_environment", "right_edge_environment",
     "EffectiveHamiltonian", "dmrg", "run_dmrg", "two_site_tensor",

@@ -66,6 +66,20 @@ class DMRGConfig:
     #: + workspace arena, :mod:`repro.symmetry.matvec`); ``False`` keeps the
     #: per-contraction planned path (the benchmark baseline)
     compile_matvec: bool = True
+    #: keep compiled matvec programs alive across bond re-visits in a
+    #: sweep-owned :class:`~repro.symmetry.matvec.SweepProgramCache`: a
+    #: re-visit with an unchanged stage signature refreshes the static
+    #: panels in place instead of retracing and recompiling, and all bonds
+    #: share one workspace arena.  ``False`` restores the PR-4 per-visit
+    #: compile (programs discarded at every ``heff.release()``).  No effect
+    #: when ``compile_matvec`` is off.
+    program_cache: bool = True
+    #: lower each bond's traced matvec into its compiled program on a
+    #: background thread while Davidson keeps iterating; the thread is
+    #: joined before any result is served, so energies, statistics and
+    #: counters are bit-identical to the synchronous compile.  Off by
+    #: default (pure wall-clock optimization).
+    overlap_compile: bool = False
     #: reduced compute dtype ("float32") of the warm-up phase; the first
     #: ``warmup_sweeps`` sweeps run their contractions and factorizations
     #: through a :class:`~repro.symmetry.blockops.MixedPrecisionOps` wrapper,
@@ -113,6 +127,12 @@ class SweepRecord:
     plan_misses: int = 0             # contraction-plan cache misses this sweep
     layout_moves: int = 0            # charged layout moves (first + changes)
     layout_reuses: int = 0           # operand touches with an unchanged layout
+    program_compiles: int = 0        # matvec programs compiled this sweep
+    program_refreshes: int = 0       # programs refreshed in place this sweep
+    program_retraces: int = 0        # programs invalidated (signature change)
+    arena_acquires: int = 0          # sweep-arena buffer acquisitions
+    arena_reuses: int = 0            # sweep-arena acquisitions served pooled
+    arena_bytes: int = 0             # fresh sweep-arena bytes allocated
 
     @property
     def plan_hit_rate(self) -> float:
@@ -125,6 +145,18 @@ class SweepRecord:
         """Fraction of this sweep's tracked operand touches that were free."""
         n = self.layout_moves + self.layout_reuses
         return self.layout_reuses / n if n else 0.0
+
+    @property
+    def program_refresh_rate(self) -> float:
+        """Fraction of this sweep's cached-program visits served by refresh.
+
+        Compiles cover both first visits and signature-change recompiles,
+        so in steady state (no retraces, no new signatures) this reaches
+        1.0: every bond visit reuses its program with an in-place panel
+        refresh.
+        """
+        n = self.program_refreshes + self.program_compiles
+        return self.program_refreshes / n if n else 0.0
 
 
 class PlanStatsRecorder:
@@ -201,6 +233,49 @@ class LayoutStatsRecorder:
         result.layout_reuses = now[1] - self._run0[1]
 
 
+class ProgramStatsRecorder:
+    """Program-cache counter deltas for one DMRG run (and per sweep).
+
+    Mirrors :class:`PlanStatsRecorder` for the sweep-persistent matvec
+    program cache (:class:`~repro.symmetry.matvec.SweepProgramCache`): the
+    sweep drivers read per-sweep compile/refresh/retrace deltas — plus the
+    sweep-owned arena's allocation counters — into each
+    :class:`SweepRecord`.  Works with ``cache=None`` (program cache
+    disabled, or compiled matvec off entirely): every delta stays zero.
+    """
+
+    def __init__(self, cache):
+        self.cache = cache
+        self._run0 = self._snap()
+        self._sweep0 = self._run0
+
+    def _snap(self) -> tuple:
+        c = self.cache
+        if c is None:
+            return (0, 0, 0, 0, 0, 0)
+        a = c.arena
+        return (c.compiles, c.refreshes, c.retraces,
+                a.acquires, a.reuses, a.allocated_bytes)
+
+    def start_sweep(self) -> None:
+        """Mark the beginning of a sweep."""
+        self._sweep0 = self._snap()
+
+    def sweep_counts(self) -> tuple:
+        """``(compiles, refreshes, retraces, acquires, reuses, bytes)``
+        deltas since :meth:`start_sweep`."""
+        now = self._snap()
+        return tuple(n - s for n, s in zip(now, self._sweep0))
+
+    def finalize(self, result: "DMRGResult") -> None:
+        """Write the run's program-cache deltas into ``result``."""
+        now = self._snap()
+        (result.program_compiles, result.program_refreshes,
+         result.program_retraces, result.arena_acquires,
+         result.arena_reuses, result.arena_allocated_bytes) = tuple(
+            n - s for n, s in zip(now, self._run0))
+
+
 @dataclass
 class DMRGResult:
     """Final result of a DMRG run."""
@@ -216,6 +291,12 @@ class DMRGResult:
     plan_execute_seconds: float = 0.0  # wall time in the fused-GEMM executor
     layout_moves: int = 0            # charged layout moves this run
     layout_reuses: int = 0           # free layout reuses this run
+    program_compiles: int = 0        # matvec programs compiled this run
+    program_refreshes: int = 0       # cached programs refreshed in place
+    program_retraces: int = 0        # cached programs invalidated (retraced)
+    arena_acquires: int = 0          # sweep-arena buffer acquisitions
+    arena_reuses: int = 0            # sweep-arena acquisitions served pooled
+    arena_allocated_bytes: int = 0   # fresh bytes the sweep arena allocated
 
     @property
     def total_flops(self) -> float:
@@ -238,6 +319,12 @@ class DMRGResult:
         """Fraction of tracked operand touches served in place (free)."""
         n = self.layout_moves + self.layout_reuses
         return self.layout_reuses / n if n else 0.0
+
+    @property
+    def program_refresh_rate(self) -> float:
+        """Fraction of cached-program bond visits served by in-place refresh."""
+        n = self.program_refreshes + self.program_compiles
+        return self.program_refreshes / n if n else 0.0
 
     @property
     def plan_cache_hit_rate_after_first_sweep(self) -> float:

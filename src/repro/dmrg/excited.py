@@ -33,8 +33,10 @@ from ..mps.mps import MPS
 from ..perf import flops as flopcount
 from ..symmetry import BlockSparseTensor
 from ..symmetry.charges import zero_charge
+from ..symmetry.matvec import SweepProgramCache
 from .config import (DMRGConfig, DMRGResult, LayoutStatsRecorder,
-                     PlanStatsRecorder, SweepRecord, Sweeps)
+                     PlanStatsRecorder, ProgramStatsRecorder, SweepRecord,
+                     Sweeps)
 from .davidson import davidson
 from ..ctf.layout import davidson_key, site_key
 from .environments import EnvironmentCache, extend_left, extend_right
@@ -176,6 +178,10 @@ def excited_dmrg(operator: MPO, psi0: MPS, previous: Sequence[MPS],
     last_energy = np.inf
     plan_stats = PlanStatsRecorder(backend)
     layout_stats = LayoutStatsRecorder(backend)
+    program_cache = None
+    if config.compile_matvec and config.program_cache:
+        program_cache = SweepProgramCache.for_backend(backend)
+    program_stats = ProgramStatsRecorder(program_cache)
 
     for sweep_id in range(len(config.sweeps)):
         maxdim = config.sweeps.maxdims[sweep_id]
@@ -187,6 +193,7 @@ def excited_dmrg(operator: MPO, psi0: MPS, previous: Sequence[MPS],
         sweep_flops0 = flopcount.total_flops()
         plan_stats.start_sweep()
         layout_stats.start_sweep()
+        program_stats.start_sweep()
         t_sweep = time.perf_counter()
 
         if psi.center != 0:
@@ -203,7 +210,10 @@ def excited_dmrg(operator: MPO, psi0: MPS, previous: Sequence[MPS],
             heff = EffectiveHamiltonian(left, operator.tensors[j],
                                         operator.tensors[j + 1], right,
                                         backend, site=j,
-                                        compile=config.compile_matvec)
+                                        compile=config.compile_matvec,
+                                        programs=program_cache,
+                                        direction=direction,
+                                        overlap_compile=config.overlap_compile)
             projections = [oc.projected_two_site(j) for oc in overlaps]
             penalized = PenalizedHamiltonian(heff, projections, weight)
 
@@ -266,10 +276,15 @@ def excited_dmrg(operator: MPO, psi0: MPS, previous: Sequence[MPS],
         dflops = flopcount.total_flops() - sweep_flops0
         plan_hits, plan_misses = plan_stats.sweep_counts()
         layout_moves, layout_reuses = layout_stats.sweep_counts()
+        (prog_compiles, prog_refreshes, prog_retraces,
+         arena_acq, arena_reuse, arena_bytes) = program_stats.sweep_counts()
         result.sweep_records.append(SweepRecord(
             sweep_id, sweep_energy, sweep_maxdim, sweep_maxtrunc, seconds,
             dflops, plan_hits=plan_hits, plan_misses=plan_misses,
-            layout_moves=layout_moves, layout_reuses=layout_reuses))
+            layout_moves=layout_moves, layout_reuses=layout_reuses,
+            program_compiles=prog_compiles, program_refreshes=prog_refreshes,
+            program_retraces=prog_retraces, arena_acquires=arena_acq,
+            arena_reuses=arena_reuse, arena_bytes=arena_bytes))
         result.energies.append(sweep_energy)
         result.energy = sweep_energy
         if (config.energy_tol > 0 and
@@ -280,6 +295,9 @@ def excited_dmrg(operator: MPO, psi0: MPS, previous: Sequence[MPS],
 
     plan_stats.finalize(result)
     layout_stats.finalize(result)
+    program_stats.finalize(result)
+    if program_cache is not None:
+        program_cache.release_all()
     psi.normalize()
     return result, psi
 

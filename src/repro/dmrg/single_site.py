@@ -29,10 +29,11 @@ from ..mps.mpo import MPO
 from ..mps.mps import MPS
 from ..perf import flops as flopcount
 from ..symmetry import BlockSparseTensor, Index, svd
-from ..symmetry.matvec import MatvecCompiler, MatvecStage
+from ..symmetry.matvec import MatvecCompiler, MatvecStage, SweepProgramCache
 from ..symmetry.reshape import fuse_modes
 from .config import (DMRGConfig, DMRGResult, LayoutStatsRecorder,
-                     PlanStatsRecorder, SiteRecord, SweepRecord, Sweeps)
+                     PlanStatsRecorder, ProgramStatsRecorder, SiteRecord,
+                     SweepRecord, Sweeps)
 from .davidson import davidson
 from .environments import EnvironmentCache
 from .sweep import PrecisionSchedule
@@ -59,6 +60,9 @@ class SingleSiteEffectiveHamiltonian:
     backend: ContractionBackend
     site: Optional[int] = None
     compile: bool = True
+    programs: Optional[SweepProgramCache] = None
+    direction: Optional[str] = None
+    overlap_compile: bool = False
     _compiler: Optional[MatvecCompiler] = field(default=None, repr=False)
 
     def stages(self) -> list[MatvecStage]:
@@ -81,8 +85,14 @@ class SingleSiteEffectiveHamiltonian:
 
     def _get_compiler(self) -> MatvecCompiler:
         if self._compiler is None:
+            bond_key = None
+            if self.programs is not None:
+                bond_key = ("single-site", self.site, self.direction)
             self._compiler = MatvecCompiler(self.backend, self.stages(),
-                                            enabled=self.compile)
+                                            enabled=self.compile,
+                                            cache=self.programs,
+                                            bond_key=bond_key,
+                                            overlap=self.overlap_compile)
         return self._compiler
 
     def apply(self, x: BlockSparseTensor) -> BlockSparseTensor:
@@ -198,6 +208,10 @@ def single_site_dmrg(operator: MPO, psi0: MPS, config: DMRGConfig, *,
     last_energy = np.inf
     plan_stats = PlanStatsRecorder(backend)
     layout_stats = LayoutStatsRecorder(backend)
+    program_cache = None
+    if config.compile_matvec and config.program_cache:
+        program_cache = SweepProgramCache.for_backend(backend)
+    program_stats = ProgramStatsRecorder(program_cache)
 
     for sweep_id in range(nsweeps):
         precision.start_sweep(sweep_id, psi, envs)
@@ -211,6 +225,7 @@ def single_site_dmrg(operator: MPO, psi0: MPS, config: DMRGConfig, *,
         sweep_flops0 = flopcount.total_flops()
         plan_stats.start_sweep()
         layout_stats.start_sweep()
+        program_stats.start_sweep()
         t_sweep = time.perf_counter()
 
         if psi.center != 0:
@@ -225,9 +240,10 @@ def single_site_dmrg(operator: MPO, psi0: MPS, config: DMRGConfig, *,
 
             left = envs.left(j)
             right = envs.right(j)
-            heff = SingleSiteEffectiveHamiltonian(left, operator.tensors[j],
-                                                  right, backend, site=j,
-                                                  compile=config.compile_matvec)
+            heff = SingleSiteEffectiveHamiltonian(
+                left, operator.tensors[j], right, backend, site=j,
+                compile=config.compile_matvec, programs=program_cache,
+                direction=direction, overlap_compile=config.overlap_compile)
             x0 = psi.tensors[j]
             dav = davidson(heff, x0, max_iterations=dav_iters,
                            max_subspace=config.davidson_max_subspace,
@@ -310,10 +326,15 @@ def single_site_dmrg(operator: MPO, psi0: MPS, config: DMRGConfig, *,
         dflops = flopcount.total_flops() - sweep_flops0
         plan_hits, plan_misses = plan_stats.sweep_counts()
         layout_moves, layout_reuses = layout_stats.sweep_counts()
+        (prog_compiles, prog_refreshes, prog_retraces,
+         arena_acq, arena_reuse, arena_bytes) = program_stats.sweep_counts()
         result.sweep_records.append(SweepRecord(
             sweep_id, sweep_energy, sweep_maxdim, sweep_maxtrunc, seconds,
             dflops, plan_hits=plan_hits, plan_misses=plan_misses,
-            layout_moves=layout_moves, layout_reuses=layout_reuses))
+            layout_moves=layout_moves, layout_reuses=layout_reuses,
+            program_compiles=prog_compiles, program_refreshes=prog_refreshes,
+            program_retraces=prog_retraces, arena_acquires=arena_acq,
+            arena_reuses=arena_reuse, arena_bytes=arena_bytes))
         result.energies.append(sweep_energy)
         result.energy = sweep_energy
         if config.sweep_hook is not None:
@@ -329,6 +350,9 @@ def single_site_dmrg(operator: MPO, psi0: MPS, config: DMRGConfig, *,
     precision.finish(psi, envs)
     plan_stats.finalize(result)
     layout_stats.finalize(result)
+    program_stats.finalize(result)
+    if program_cache is not None:
+        program_cache.release_all()
     psi.normalize()
     return result, psi
 

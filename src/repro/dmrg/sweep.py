@@ -22,9 +22,10 @@ from ..mps.mps import MPS
 from ..perf import flops as flopcount
 from ..symmetry import BlockSparseTensor
 from ..symmetry.blockops import MixedPrecisionOps
-from ..symmetry.matvec import MatvecCompiler, MatvecStage
+from ..symmetry.matvec import MatvecCompiler, MatvecStage, SweepProgramCache
 from .config import (DMRGConfig, DMRGResult, LayoutStatsRecorder,
-                     PlanStatsRecorder, SiteRecord, Sweeps, SweepRecord)
+                     PlanStatsRecorder, ProgramStatsRecorder, SiteRecord,
+                     Sweeps, SweepRecord)
 from .davidson import davidson
 from .environments import EnvironmentCache, extend_left, extend_right
 
@@ -95,6 +96,13 @@ class EffectiveHamiltonian:
     chained path.  :meth:`release` invalidates the programs (the sweep driver
     calls it before the SVD rewrites the wavefunction) and recycles their
     buffers for the next bond.
+
+    With ``programs`` (a :class:`~repro.symmetry.matvec.SweepProgramCache`)
+    the compiled programs instead persist across bond re-visits, keyed by
+    ``(site, direction)``: :meth:`release` leaves them in the cache and the
+    next visit refreshes the static panels in place unless the bond's stage
+    signature changed.  ``overlap_compile`` moves program lowering onto a
+    background thread (joined deterministically; bit-identical results).
     """
 
     left_env: BlockSparseTensor
@@ -104,6 +112,9 @@ class EffectiveHamiltonian:
     backend: ContractionBackend
     site: Optional[int] = None
     compile: bool = True
+    programs: Optional[SweepProgramCache] = None
+    direction: Optional[str] = None
+    overlap_compile: bool = False
     _compiler: Optional[MatvecCompiler] = field(default=None, repr=False)
 
     def stages(self) -> list[MatvecStage]:
@@ -128,8 +139,14 @@ class EffectiveHamiltonian:
 
     def _get_compiler(self) -> MatvecCompiler:
         if self._compiler is None:
+            bond_key = None
+            if self.programs is not None:
+                bond_key = ("two-site", self.site, self.direction)
             self._compiler = MatvecCompiler(self.backend, self.stages(),
-                                            enabled=self.compile)
+                                            enabled=self.compile,
+                                            cache=self.programs,
+                                            bond_key=bond_key,
+                                            overlap=self.overlap_compile)
         return self._compiler
 
     def apply(self, x: BlockSparseTensor) -> BlockSparseTensor:
@@ -187,11 +204,15 @@ def dmrg(operator: MPO, psi0: MPS, config: DMRGConfig, *,
     precision = PrecisionSchedule(config, backend)
     precision.begin()
     envs = EnvironmentCache(psi, operator, backend)
+    program_cache = None
+    if config.compile_matvec and config.program_cache:
+        program_cache = SweepProgramCache.for_backend(backend)
 
     result = DMRGResult(energy=np.inf)
     last_energy = np.inf
     plan_stats = PlanStatsRecorder(backend)
     layout_stats = LayoutStatsRecorder(backend)
+    program_stats = ProgramStatsRecorder(program_cache)
 
     for sweep_id in range(len(config.sweeps)):
         precision.start_sweep(sweep_id, psi, envs)
@@ -204,6 +225,7 @@ def dmrg(operator: MPO, psi0: MPS, config: DMRGConfig, *,
         sweep_flops0 = flopcount.total_flops()
         plan_stats.start_sweep()
         layout_stats.start_sweep()
+        program_stats.start_sweep()
         t_sweep = time.perf_counter()
 
         ranges = config.site_ranges or [(0, n - 1)]
@@ -229,16 +251,21 @@ def dmrg(operator: MPO, psi0: MPS, config: DMRGConfig, *,
                 heff = EffectiveHamiltonian(left, operator.tensors[j],
                                             operator.tensors[j + 1], right,
                                             backend, site=j,
-                                            compile=config.compile_matvec)
+                                            compile=config.compile_matvec,
+                                            programs=program_cache,
+                                            direction=direction,
+                                            overlap_compile=
+                                            config.overlap_compile)
                 x0 = two_site_tensor(psi, j, backend)
                 dav = davidson(heff, x0, max_iterations=dav_iters,
                                max_subspace=config.davidson_max_subspace,
                                tol=config.davidson_tol, rng=rng)
                 energy = dav.eigenvalue
                 # the SVD below rewrites the wavefunction and (on the next
-                # step) the environments: the compiled matvec programs'
-                # cached static views are stale, so the bond's programs are
-                # invalidated and their workspace buffers recycled
+                # step) the environments: the bond's programs are detached
+                # — into the sweep cache when one is attached (the next
+                # visit refreshes or invalidates them against the rewritten
+                # operands), otherwise released and their buffers recycled
                 heff.release()
 
                 absorb = "right" if direction == "right" else "left"
@@ -289,10 +316,18 @@ def dmrg(operator: MPO, psi0: MPS, config: DMRGConfig, *,
         dflops = flopcount.total_flops() - sweep_flops0
         plan_hits, plan_misses = plan_stats.sweep_counts()
         layout_moves, layout_reuses = layout_stats.sweep_counts()
+        (prog_compiles, prog_refreshes, prog_retraces,
+         arena_acquires, arena_reuses, arena_bytes) = \
+            program_stats.sweep_counts()
         result.sweep_records.append(SweepRecord(
             sweep_id, sweep_energy, sweep_maxdim, sweep_maxtrunc, seconds,
             dflops, plan_hits=plan_hits, plan_misses=plan_misses,
-            layout_moves=layout_moves, layout_reuses=layout_reuses))
+            layout_moves=layout_moves, layout_reuses=layout_reuses,
+            program_compiles=prog_compiles,
+            program_refreshes=prog_refreshes,
+            program_retraces=prog_retraces,
+            arena_acquires=arena_acquires, arena_reuses=arena_reuses,
+            arena_bytes=arena_bytes))
         result.energies.append(sweep_energy)
         result.energy = sweep_energy
         if config.sweep_hook is not None:
@@ -309,6 +344,9 @@ def dmrg(operator: MPO, psi0: MPS, config: DMRGConfig, *,
     precision.finish(psi, envs)
     plan_stats.finalize(result)
     layout_stats.finalize(result)
+    program_stats.finalize(result)
+    if program_cache is not None:
+        program_cache.release_all()
     return result, psi
 
 

@@ -181,6 +181,172 @@ def run_matvec_layout_check(*, nsites: int = 8, maxdim: int = 16,
     }
 
 
+def run_program_cache_benchmark(*, nsites: int = 8, maxdim: int = 16,
+                                nsweeps: int = 5, repeats: int = 5,
+                                warmup_sweeps: int = 3,
+                                model: str = "heisenberg",
+                                sim_nsites: int = 8, sim_maxdim: int = 16,
+                                sim_nsweeps: int = 3) -> Dict[str, object]:
+    """Measure the sweep-persistent program cache against per-visit compiles.
+
+    Three measurements:
+
+    * **whole-sweep comparison** — the same DMRG run with the program cache
+      on and off (compiled matvec on in both): wall-clock per run, energies
+      to 1e-10, identical plan-cache statistics, and the cached run's
+      steady-state sweeps (index ``warmup_sweeps`` and later, once the
+      truncation has settled the bond signatures) must show zero retraces
+      and zero fresh arena allocations (``acquires == reuses``);
+    * **refresh vs retrace** — repeated visits of one mid-chain bond,
+      cached (in-place static refresh) vs uncached (full trace + lower per
+      visit); the refresh path must win;
+    * **modelled-cost equivalence** — a sparse-sparse SimWorld run with the
+      cache on and off: layout tracker and modelled seconds bit-identical.
+    """
+    from ..backends import SparseSparseBackend
+    from ..ctf import BLUE_WATERS, SimWorld
+    from ..dmrg import DMRGConfig, EffectiveHamiltonian, Sweeps, dmrg
+    from ..models import heisenberg_chain_model
+    from ..mps import MPS, build_mpo
+    from ..symmetry.matvec import SweepProgramCache
+
+    # -- whole-sweep: per-visit compile vs persistent cache ----------------- #
+    lattice, sites, opsum, config_state = heisenberg_chain_model(nsites)
+    mpo = build_mpo(opsum, sites, compress=True)
+    psi0 = MPS.product_state(sites, config_state)
+    sweeps = Sweeps.fixed(maxdim, nsweeps, cutoff=1e-10)
+
+    runs = {}
+    for cached in (False, True):
+        t0 = time.perf_counter()
+        res, _ = dmrg(mpo, psi0,
+                      DMRGConfig(sweeps=sweeps, program_cache=cached),
+                      backend=DirectBackend(),
+                      rng=np.random.default_rng(11))
+        runs[cached] = (time.perf_counter() - t0, res)
+    seconds_uncached, res_uncached = runs[False]
+    seconds_cached, res_cached = runs[True]
+    steady = res_cached.sweep_records[warmup_sweeps:]
+    steady_acquires = sum(r.arena_acquires for r in steady)
+    steady_reuses = sum(r.arena_reuses for r in steady)
+
+    # -- refresh vs retrace at one bond ------------------------------------- #
+    left, w1, w2, right, x = heff_setup(nsites, maxdim, model=model)
+
+    def visit(backend, programs) -> float:
+        """One bond visit: build, apply twice, release; returns seconds."""
+        t0 = time.perf_counter()
+        heff = EffectiveHamiltonian(left, w1, w2, right, backend,
+                                    compile=True, programs=programs)
+        heff.apply(x)
+        heff.apply(x)
+        heff.release()
+        return time.perf_counter() - t0
+
+    cached_backend = DirectBackend()
+    cache = SweepProgramCache.for_backend(cached_backend)
+    visit(cached_backend, cache)                      # warm-up: compile
+    arena_before = dict(cache.arena.snapshot())
+    refresh_seconds = min(visit(cached_backend, cache)
+                          for _ in range(repeats))
+    arena_after = dict(cache.arena.snapshot())
+    cache.release_all()
+
+    retrace_backend = DirectBackend()
+    visit(retrace_backend, None)                      # warm-up: pool buffers
+    retrace_seconds = min(visit(retrace_backend, None)
+                          for _ in range(repeats))
+
+    # -- modelled costs bit-identical with the cache on vs off -------------- #
+    sim_lat, sim_sites, sim_opsum, sim_state = heisenberg_chain_model(
+        sim_nsites)
+    sim_mpo = build_mpo(sim_opsum, sim_sites, compress=True)
+    sim_psi0 = MPS.product_state(sim_sites, sim_state)
+    sim_sweeps = Sweeps.fixed(sim_maxdim, sim_nsweeps, cutoff=1e-10)
+    sim = {}
+    for cached in (False, True):
+        world = SimWorld(nodes=4, procs_per_node=16, machine=BLUE_WATERS)
+        res, _ = dmrg(sim_mpo, sim_psi0,
+                      DMRGConfig(sweeps=sim_sweeps, program_cache=cached),
+                      backend=SparseSparseBackend(world),
+                      rng=np.random.default_rng(5))
+        sim[cached] = {"tracker": world.layout_tracker.snapshot(),
+                       "modelled_seconds": world.modelled_seconds(),
+                       "energy": float(res.energy)}
+
+    return {
+        "model": model, "nsites": nsites, "maxdim": maxdim,
+        "nsweeps": nsweeps, "repeats": repeats,
+        "warmup_sweeps": warmup_sweeps,
+        "sweep_seconds_uncached": seconds_uncached,
+        "sweep_seconds_cached": seconds_cached,
+        "sweep_speedup": seconds_uncached / seconds_cached
+        if seconds_cached > 0 else float("inf"),
+        "energy_cached": float(res_cached.energy),
+        "energy_uncached": float(res_uncached.energy),
+        "energy_delta": abs(float(res_cached.energy)
+                            - float(res_uncached.energy)),
+        "plan_stats_equal": (res_cached.plan_cache_hits
+                             == res_uncached.plan_cache_hits
+                             and res_cached.plan_cache_misses
+                             == res_uncached.plan_cache_misses),
+        "program_compiles": res_cached.program_compiles,
+        "program_refreshes": res_cached.program_refreshes,
+        "program_retraces": res_cached.program_retraces,
+        "refresh_hit_rate": res_cached.program_refresh_rate,
+        "steady_state_retraces": sum(r.program_retraces for r in steady),
+        "steady_state_compiles": sum(r.program_compiles for r in steady),
+        "steady_state_arena_bytes": sum(r.arena_bytes for r in steady),
+        "steady_state_acquires": steady_acquires,
+        "steady_state_reuses": steady_reuses,
+        "steady_state_allocations_zero": steady_acquires == steady_reuses,
+        "refresh_visit_seconds": refresh_seconds,
+        "retrace_visit_seconds": retrace_seconds,
+        "refresh_speedup": retrace_seconds / refresh_seconds
+        if refresh_seconds > 0 else float("inf"),
+        "refresh_visit_arena_acquires": (arena_after["acquires"]
+                                         - arena_before["acquires"]),
+        "refresh_visit_allocated_bytes": (arena_after["allocated_bytes"]
+                                          - arena_before["allocated_bytes"]),
+        "sim_tracker_equal": sim[True]["tracker"] == sim[False]["tracker"],
+        "sim_modelled_seconds_delta": abs(sim[True]["modelled_seconds"]
+                                          - sim[False]["modelled_seconds"]),
+        "sim_energy_delta": abs(sim[True]["energy"] - sim[False]["energy"]),
+    }
+
+
+def format_program_cache_benchmark(stats: Dict[str, object]) -> str:
+    """Render the program-cache benchmark as a fixed-width table."""
+    rows = [
+        ("system", f"{stats['model']} n={stats['nsites']}, "
+                   f"m={stats['maxdim']}, {stats['nsweeps']} sweeps"),
+        ("sweep s (per-visit compile)",
+         f"{stats['sweep_seconds_uncached']:.3e}"),
+        ("sweep s (persistent cache)",
+         f"{stats['sweep_seconds_cached']:.3e}"),
+        ("whole-run speedup", f"{stats['sweep_speedup']:.2f}x"),
+        ("|energy delta|", stats["energy_delta"]),
+        ("plan stats equal", stats["plan_stats_equal"]),
+        ("compiles / refreshes / retraces",
+         f"{stats['program_compiles']} / {stats['program_refreshes']} / "
+         f"{stats['program_retraces']}"),
+        ("refresh hit rate", f"{100.0 * stats['refresh_hit_rate']:.1f}%"),
+        ("steady-state retraces", stats["steady_state_retraces"]),
+        ("steady-state arena bytes", stats["steady_state_arena_bytes"]),
+        ("steady-state allocs zero", stats["steady_state_allocations_zero"]),
+        ("refresh visit s", f"{stats['refresh_visit_seconds']:.3e}"),
+        ("retrace visit s", f"{stats['retrace_visit_seconds']:.3e}"),
+        ("refresh speedup", f"{stats['refresh_speedup']:.2f}x"),
+        ("refresh visit arena acquires",
+         stats["refresh_visit_arena_acquires"]),
+        ("sim tracker equal", stats["sim_tracker_equal"]),
+        ("sim modelled s delta", stats["sim_modelled_seconds_delta"]),
+    ]
+    return format_table(["metric", "value"], rows,
+                        title="Sweep-persistent program cache vs per-visit "
+                              "compile")
+
+
 def format_matvec_benchmark(stats: Dict[str, float]) -> str:
     """Render the matvec-compile benchmark as a fixed-width table."""
     rows = [

@@ -19,7 +19,8 @@ from .planner import (ContractionPlan, PlanCache, build_plan,
                       tensor_signature)
 from .engine import contract_planned, execute_plan
 from .matvec import (MatvecCompiler, MatvecCounters, MatvecProgram,
-                     MatvecStage, StageCharge, WorkspaceArena)
+                     MatvecStage, StageCharge, SweepProgramCache,
+                     WorkspaceArena, stage_signature)
 from .reshape import FusedMode, fuse_modes, matricize, split_mode
 
 __all__ = [
@@ -28,7 +29,8 @@ __all__ = [
     "outer", "SingularSpectrum", "TruncationInfo", "qr", "spectrum_tensor",
     "svd", "ContractionPlan", "PlanCache", "build_plan", "tensor_signature",
     "contract_planned", "execute_plan", "MatvecCompiler", "MatvecCounters",
-    "MatvecProgram", "MatvecStage", "StageCharge", "WorkspaceArena",
+    "MatvecProgram", "MatvecStage", "StageCharge", "SweepProgramCache",
+    "WorkspaceArena", "stage_signature",
     "FusedMode", "fuse_modes", "matricize", "split_mode",
     "BlockOps", "MixedPrecisionOps", "NumpyOps", "ThreadedOps",
     "create_block_ops", "default_block_ops", "make_block_ops",

@@ -39,6 +39,7 @@ charge_compiled_stage` — same plans, same flop counts, same
 from __future__ import annotations
 
 import math
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -49,6 +50,11 @@ from ..perf import flops as _flops
 from .block_tensor import BlockSparseTensor
 from .blockops import resolve_block_ops
 from .planner import ContractionPlan, build_plan, tensor_signature
+
+
+def _buffer_addr(arr: np.ndarray) -> int:
+    """The data pointer of an array (identity of the underlying bytes)."""
+    return arr.__array_interface__["data"][0]
 
 
 # --------------------------------------------------------------------------- #
@@ -65,11 +71,15 @@ class WorkspaceArena:
     sweeps revisiting the same shapes) recycle the same memory.
     """
 
-    __slots__ = ("_free", "acquires", "reuses", "releases", "allocated_bytes",
-                 "max_pool_per_key", "allocator")
+    __slots__ = ("_free", "_pooled", "acquires", "reuses", "releases",
+                 "allocated_bytes", "max_pool_per_key", "allocator")
 
     def __init__(self, max_pool_per_key: int = 8, allocator=None):
         self._free: Dict[Tuple[str, int], List[np.ndarray]] = {}
+        #: data pointers of the buffers currently sitting in the pool; a
+        #: release whose pointer is already here is a double release (the
+        #: same bytes would be handed out twice) and raises immediately
+        self._pooled: set = set()
         #: total acquire calls / acquires served from the pool / releases
         self.acquires = 0
         self.reuses = 0
@@ -92,6 +102,7 @@ class WorkspaceArena:
         if stack:
             self.reuses += 1
             flat = stack.pop()
+            self._pooled.discard(_buffer_addr(flat))
         elif self.allocator is not None:
             flat = self.allocator((size,), dtype)
             self.allocated_bytes += flat.nbytes
@@ -107,17 +118,33 @@ class WorkspaceArena:
         root is recovered with one ``reshape(-1)`` — which also stays valid
         for shared-memory-backed buffers, whose view chain bottoms out in a
         memoryview rather than an ndarray.
+
+        Releasing a buffer that is already in the pool raises ``ValueError``:
+        with programs and the sweep driver sharing one arena, a double
+        release would hand the same bytes to two live holders and corrupt
+        one of them silently.  Identity is the buffer's data pointer (the
+        ``reshape`` above returns a fresh view object per call, so object
+        identity cannot name the underlying allocation); a pooled buffer's
+        memory cannot be recycled by the interpreter while the pool holds a
+        reference, so pointer collisions with dead buffers are impossible.
         """
         flat = arr.reshape(-1)
+        addr = _buffer_addr(flat)
+        if addr in self._pooled:
+            raise ValueError(
+                f"double release of arena buffer ({flat.dtype.str}, "
+                f"{flat.size} elements): the buffer is already in the pool")
         key = (flat.dtype.str, flat.size)
         stack = self._free.setdefault(key, [])
         if len(stack) < self.max_pool_per_key:
             stack.append(flat)
+            self._pooled.add(addr)
         self.releases += 1
 
     def clear(self) -> None:
         """Drop every pooled buffer (counters are kept)."""
         self._free.clear()
+        self._pooled.clear()
 
     def snapshot(self) -> Dict[str, float]:
         """Plain-dict counters (for reports and the aliasing tests)."""
@@ -157,6 +184,26 @@ class MatvecStage:
     axes: Tuple[Tuple[int, ...], Tuple[int, ...]]
     operand_keys: Tuple[Optional[str], Optional[str]] = (None, None)
     out_key: Optional[str] = None
+
+
+def stage_signature(stages: Sequence[MatvecStage], ops) -> tuple:
+    """Structural identity of a matvec chain, for refresh-vs-recompile.
+
+    Two visits of the same bond may *refresh* a cached program in place
+    only when this tuple is unchanged: the static operands' block structure
+    (:func:`~repro.symmetry.planner.tensor_signature`), their dtypes, the
+    contraction axes and the layout keys all enter, plus the block-ops
+    promotion rule for float64 — so a bond-dimension change, an environment
+    rebuild with different sectors, or the mixed-precision schedule swapping
+    the compute dtype each force a full recompile instead of a stale
+    refresh.  (``tensor_signature`` alone is dtype-blind, which is exactly
+    right for the plan cache but not for cached numeric panels.)
+    """
+    compute = np.dtype(ops.result_type(np.float64, np.float64)).str
+    return (compute,) + tuple(
+        (tensor_signature(stg.static), np.dtype(stg.static.dtype).str,
+         stg.static_side, stg.axes, stg.operand_keys, stg.out_key)
+        for stg in stages)
 
 
 @dataclass(frozen=True)
@@ -243,7 +290,7 @@ class _CompiledStage:
 
     __slots__ = ("plan", "charge", "out_dtype", "gathers", "fills", "units",
                  "dmats", "result_mats", "final_blocks", "final_size",
-                 "is_final")
+                 "is_final", "refreshes")
 
     def __init__(self):
         self.gathers: List[tuple] = []
@@ -254,6 +301,11 @@ class _CompiledStage:
         self.final_blocks: List[tuple] = []
         self.final_size = 0
         self.is_final = False
+        # static refresh ops (dst_2d_view, block_key, perm, owner_buffer):
+        # every destination a new static operand's blocks are re-matricized
+        # into when a sweep-persistent program is refreshed instead of
+        # retraced; each dst lives inside the program-owned owner buffer
+        self.refreshes: List[tuple] = []
 
 
 class MatvecProgram:
@@ -351,6 +403,25 @@ class MatvecProgram:
                                  flux=self._out_flux, dtype=self._out_dtype,
                                  check=False)
 
+    def refresh(self, statics: Sequence[BlockSparseTensor]) -> None:
+        """Re-matricize new static operands into the existing panels.
+
+        Called by :class:`SweepProgramCache` when a bond is re-visited with
+        the same :func:`stage_signature`: every fused panel segment, batch
+        stack slice and single-static buffer is overwritten in place with
+        the new operands' blocks — no retrace, no slot-map rebuild, no
+        arena traffic.  ``statics`` must be the stage operands in chain
+        order (one per compiled stage); the matching signature guarantees
+        identical block keys, shapes and dtypes.
+        """
+        for st, static in zip(self._stages, statics):
+            blocks = static.blocks
+            for dst, key, perm, _owner in st.refreshes:
+                blk = blocks[key]
+                if perm is not None:
+                    blk = np.transpose(blk, perm)
+                dst[...] = blk.reshape(dst.shape)
+
     @property
     def stages(self):
         """The compiled stages, in execution order (read-only view).
@@ -440,6 +511,11 @@ def _build_stage(plan: ContractionPlan, stage: MatvecStage,
         if static_is_a:
             lhs = _acquire((m, ktot), out_dtype)
             np.concatenate([smats[i] for i in grp.a_slots], axis=1, out=lhs)
+            off = 0
+            for i, w in zip(grp.a_slots, widths):
+                st.refreshes.append((lhs[:, off:off + w], sslots[i].key,
+                                     sslots[i].perm, lhs))
+                off += w
             panel = _acquire((ktot, n), out_dtype)
             off = 0
             for i, w in zip(grp.b_slots, widths):
@@ -450,6 +526,11 @@ def _build_stage(plan: ContractionPlan, stage: MatvecStage,
         else:
             rhs = _acquire((ktot, n), out_dtype)
             np.concatenate([smats[i] for i in grp.b_slots], axis=0, out=rhs)
+            off = 0
+            for i, w in zip(grp.b_slots, widths):
+                st.refreshes.append((rhs[off:off + w, :], sslots[i].key,
+                                     sslots[i].perm, rhs))
+                off += w
             panel = _acquire((m, ktot), out_dtype)
             off = 0
             for i, w in zip(grp.a_slots, widths):
@@ -463,13 +544,21 @@ def _build_stage(plan: ContractionPlan, stage: MatvecStage,
         if len(entries) == 1:
             so, sa, sb = entries[0]
             spec = plan.out_specs[so]
+            # a single static matrix is copied into its own arena buffer
+            # rather than referenced as a view of the operand tensor: a
+            # sweep-persistent refresh must be able to re-matricize a new
+            # operand without the old tensor's memory leaking into the GEMM
+            si = sa if static_is_a else sb
+            sbuf = _acquire(smats[si].shape, out_dtype)
+            sbuf[...] = smats[si]
+            st.refreshes.append((sbuf, sslots[si].key, sslots[si].perm, sbuf))
             if static_is_a:
-                lhs_ref = ("c", smats[sa])
+                lhs_ref = ("c", sbuf)
                 rhs_ref = ("d", sb)
                 singles_use[sb] = True
             else:
                 lhs_ref = ("d", sa)
-                rhs_ref = ("c", smats[sb])
+                rhs_ref = ("c", sbuf)
                 singles_use[sa] = True
             units_plan.append((lhs_ref, rhs_ref, (so,),
                                (spec.rows, spec.cols)))
@@ -481,6 +570,9 @@ def _build_stage(plan: ContractionPlan, stage: MatvecStage,
         if static_is_a:
             sstack = _acquire((nb, m, k), out_dtype)
             np.stack([smats[sa] for _, sa, _ in entries], out=sstack)
+            for j, (_, sa, _) in enumerate(entries):
+                st.refreshes.append((sstack[j], sslots[sa].key,
+                                     sslots[sa].perm, sstack))
             dstack = _acquire((nb, k, n), out_dtype)
             for j, (_, _, sb) in enumerate(entries):
                 dests.setdefault(sb, []).append((dstack[j], dstack))
@@ -489,6 +581,9 @@ def _build_stage(plan: ContractionPlan, stage: MatvecStage,
         else:
             sstack = _acquire((nb, k, n), out_dtype)
             np.stack([smats[sb] for _, _, sb in entries], out=sstack)
+            for j, (_, _, sb) in enumerate(entries):
+                st.refreshes.append((sstack[j], sslots[sb].key,
+                                     sslots[sb].perm, sstack))
             dstack = _acquire((nb, m, k), out_dtype)
             for j, (_, sa, _) in enumerate(entries):
                 dests.setdefault(sa, []).append((dstack[j], dstack))
@@ -554,6 +649,119 @@ def _build_stage(plan: ContractionPlan, stage: MatvecStage,
     return st
 
 
+class SweepProgramCache:
+    """Sweep-persistent compiled programs, keyed by bond and direction.
+
+    The sweep drivers visit the same bonds over and over; their effective
+    Hamiltonians keep the same block structure from sweep to sweep once the
+    schedule stops growing the bond dimension.  This cache owns one
+    :class:`WorkspaceArena` for the whole run and keeps every bond's
+    compiled :class:`MatvecProgram` alive across visits:
+
+    * **refresh** — a re-visit whose :func:`stage_signature` matches the
+      cached entry re-matricizes the new static operands into the existing
+      fused panels in place (:meth:`MatvecProgram.refresh`) and serves the
+      cached programs: no retrace, no recompile, no arena churn;
+    * **retrace** — a signature change (bond growth, a dtype switch from
+      the mixed-precision schedule, an environment rebuild with different
+      sectors) releases the stale programs back to the shared arena and the
+      next Davidson solve traces and compiles afresh, recycling the freed
+      panels;
+    * **shared arena** — buffers released at one bond serve the next, and
+      after the warm-up sweeps steady-state visits perform no fresh
+      allocations at all (``arena.acquires == arena.reuses`` deltas).
+
+    Refreshed programs execute through the ordinary
+    :meth:`MatvecProgram.execute` path, so cost accounting (plan-cache
+    hits, ``charge_compiled_stage`` traffic, flop counts) is replayed
+    exactly as for freshly compiled programs.
+    """
+
+    def __init__(self, arena: Optional[WorkspaceArena] = None):
+        self.arena = arena if arena is not None else WorkspaceArena()
+        #: bond key -> (stage signature, {input key -> MatvecProgram})
+        self._entries: Dict[object, tuple] = {}
+        self.binds = 0      #: bond visits served (refresh or fresh entry)
+        self.compiles = 0   #: programs compiled into the cache
+        self.refreshes = 0  #: programs refreshed in place on a re-visit
+        self.retraces = 0   #: programs invalidated by a signature change
+
+    @classmethod
+    def for_backend(cls, backend) -> "SweepProgramCache":
+        """A cache whose arena draws from the backend's block-ops allocator.
+
+        The process executor's ops hand out shared-memory buffers here, so
+        sweep-persistent panels stay addressable by the worker processes —
+        the same wiring :class:`repro.backends.base.ContractionBackend` uses
+        for its own per-backend arena.
+        """
+        ops = resolve_block_ops(getattr(backend, "block_ops", None))
+        return cls(arena=WorkspaceArena(allocator=ops.allocator()))
+
+    def bind(self, bond_key, signature: tuple,
+             statics: Sequence[BlockSparseTensor]) -> Dict[tuple, "MatvecProgram"]:
+        """The live program table for one bond visit.
+
+        Matching signature: every cached program is refreshed with the new
+        static operands and the existing table is returned.  Mismatch (or
+        first visit): stale programs are released to the shared arena and a
+        fresh table is installed.  The compiler inserts newly compiled
+        programs directly into the returned dict, so they persist for the
+        bond's next visit.
+        """
+        self.binds += 1
+        entry = self._entries.get(bond_key)
+        if entry is not None:
+            cached_sig, programs = entry
+            if cached_sig == signature:
+                for prog in programs.values():
+                    prog.refresh(statics)
+                    self.refreshes += 1
+                return programs
+            for prog in programs.values():
+                prog.release()
+                self.retraces += 1
+        programs: Dict[tuple, MatvecProgram] = {}
+        self._entries[bond_key] = (signature, programs)
+        return programs
+
+    def iter_programs(self):
+        """Every live program across all bonds (for the aliasing verifier)."""
+        out = []
+        for _sig, programs in self._entries.values():
+            out.extend(programs.values())
+        return tuple(out)
+
+    @property
+    def programs(self) -> int:
+        """Number of live programs across all cached bonds."""
+        return sum(len(p) for _s, p in self._entries.values())
+
+    def release_all(self) -> None:
+        """Release every cached program's buffers and drop all entries."""
+        for _sig, programs in self._entries.values():
+            for prog in programs.values():
+                prog.release()
+        self._entries.clear()
+
+    def snapshot(self) -> Dict[str, float]:
+        """Plain-dict counters plus the shared arena's counters."""
+        return {"binds": self.binds, "compiles": self.compiles,
+                "refreshes": self.refreshes, "retraces": self.retraces,
+                "programs": self.programs, "arena": self.arena.snapshot()}
+
+
+class _PendingCompile:
+    """A background lowering in flight (``overlap_compile`` mode)."""
+
+    __slots__ = ("thread", "program", "error")
+
+    def __init__(self):
+        self.thread: Optional[threading.Thread] = None
+        self.program: Optional[MatvecProgram] = None
+        self.error: Optional[BaseException] = None
+
+
 class MatvecCompiler:
     """Per-bond compiler and program cache for one effective Hamiltonian.
 
@@ -563,19 +771,40 @@ class MatvecCompiler:
     trace is lowered into a :class:`MatvecProgram` that serves every further
     application at that bond.  ``release()`` hands the programs' arena
     buffers back for the next bond step.
+
+    With a :class:`SweepProgramCache` (``cache``/``bond_key``), the program
+    table is the cache's sweep-persistent entry instead: binding refreshes
+    or invalidates the cached programs against the current static operands,
+    new compiles land in the cache, and ``release()`` leaves the programs
+    alive for the bond's next visit.  ``overlap=True`` moves the lowering
+    of a traced apply onto a background thread; the thread is always joined
+    before the next traced apply or release, so results and counters are
+    bit-identical to the synchronous path (the lowering itself performs no
+    arithmetic on the flowing tensor).
     """
 
     def __init__(self, backend, stages: Sequence[MatvecStage], *,
                  enabled: bool = True,
-                 arena: Optional[WorkspaceArena] = None):
+                 arena: Optional[WorkspaceArena] = None,
+                 cache: Optional[SweepProgramCache] = None,
+                 bond_key=None, overlap: bool = False):
         self.backend = backend
         self.stages = list(stages)
         supported = getattr(backend, "supports_compiled_matvec",
                             lambda: False)()
         self.enabled = bool(enabled) and supported
-        self.arena = arena if arena is not None else getattr(
-            backend, "workspace_arena", None) or WorkspaceArena()
+        self.program_cache = cache if self.enabled else None
+        self.bond_key = bond_key
+        self.overlap = bool(overlap) and self.enabled
+        if self.program_cache is not None:
+            # sweep-owned arena: buffers released at one bond serve the next
+            self.arena = self.program_cache.arena
+        else:
+            self.arena = arena if arena is not None else getattr(
+                backend, "workspace_arena", None) or WorkspaceArena()
         self._programs: Dict[tuple, MatvecProgram] = {}
+        self._bound = self.program_cache is None
+        self._pending: Dict[tuple, _PendingCompile] = {}
 
     # -- chained (trace / fallback) path ----------------------------------- #
     def _chained(self, x: BlockSparseTensor,
@@ -637,6 +866,63 @@ class MatvecCompiler:
         return MatvecProgram(compiled, self.arena, owned, last.out_indices,
                              last.out_flux, np.dtype(in_dtype), total_flops)
 
+    # -- sweep-persistent cache binding ------------------------------------- #
+    def _ensure_bound(self) -> None:
+        """Bind the program table to the sweep cache's entry for this bond."""
+        if self._bound:
+            return
+        ops = resolve_block_ops(getattr(self.backend, "block_ops", None))
+        signature = stage_signature(self.stages, ops)
+        statics = [stg.static for stg in self.stages]
+        self._programs = self.program_cache.bind(self.bond_key, signature,
+                                                 statics)
+        self._bound = True
+
+    def _adopt(self, key: tuple, prog: MatvecProgram, counters) -> None:
+        """Install a freshly compiled program and account for it."""
+        self._programs[key] = prog
+        if counters is not None:
+            counters.compiles += 1
+        if self.program_cache is not None:
+            self.program_cache.compiles += 1
+
+    # -- background compilation (overlap mode) ------------------------------ #
+    def _spawn_compile(self, key: tuple, x: BlockSparseTensor,
+                       intermediates: List[BlockSparseTensor]) -> None:
+        """Lower the trace on a background thread (joined deterministically).
+
+        The lowering reads only the trace, the plan cache (``peek``, which
+        records no statistics) and the arena; it performs no arithmetic on
+        ``x``, so running it concurrently with the caller's non-contraction
+        work (Davidson vector algebra) cannot change any result or
+        counter.  :meth:`apply` drains every pending thread before running
+        another chained contraction, so the plan cache is never mutated
+        while a lowering reads it.
+        """
+        pending = _PendingCompile()
+
+        def work():
+            try:
+                pending.program = self._try_compile(x, intermediates)
+            except BaseException as exc:  # re-raised at the join point
+                pending.error = exc
+
+        pending.thread = threading.Thread(target=work, name="matvec-compile",
+                                          daemon=True)
+        self._pending[key] = pending
+        pending.thread.start()
+
+    def _drain_pending(self) -> None:
+        """Join every background lowering and adopt the finished programs."""
+        counters = getattr(self.backend, "matvec_counters", None)
+        while self._pending:
+            key, pending = self._pending.popitem()
+            pending.thread.join()
+            if pending.error is not None:
+                raise pending.error
+            if pending.program is not None:
+                self._adopt(key, pending.program, counters)
+
     # -- public API --------------------------------------------------------- #
     def apply(self, x: BlockSparseTensor) -> BlockSparseTensor:
         """Apply the chain to ``x``, compiling on first sight of a signature."""
@@ -645,8 +931,13 @@ class MatvecCompiler:
             if counters is not None:
                 counters.traced_applies += 1
             return self._chained(x)
+        self._ensure_bound()
         key = (tensor_signature(x), np.dtype(x.dtype).str)
         prog = self._programs.get(key)
+        if prog is None and self._pending:
+            # a chained apply is coming: no lowering may run concurrently
+            self._drain_pending()
+            prog = self._programs.get(key)
         if prog is not None:
             if counters is not None:
                 counters.compiled_applies += 1
@@ -655,11 +946,12 @@ class MatvecCompiler:
         y = self._chained(x, record=intermediates)
         if counters is not None:
             counters.traced_applies += 1
-        prog = self._try_compile(x, intermediates)
-        if prog is not None:
-            self._programs[key] = prog
-            if counters is not None:
-                counters.compiles += 1
+        if self.overlap:
+            self._spawn_compile(key, x, intermediates)
+        else:
+            prog = self._try_compile(x, intermediates)
+            if prog is not None:
+                self._adopt(key, prog, counters)
         return y
 
     def release(self) -> None:
@@ -668,7 +960,16 @@ class MatvecCompiler:
         Called when the bond's Davidson solve is over (the SVD is about to
         rewrite the wavefunction and, later, the environments): the static
         views are stale from that point on and must not be reused.
+
+        With a sweep cache attached the programs are *not* released — they
+        persist in the cache and the next visit of this bond refreshes (or
+        invalidates) them against the rewritten operands.
         """
+        self._drain_pending()
+        if self.program_cache is not None:
+            self._programs = {}
+            self._bound = False
+            return
         counters = getattr(self.backend, "matvec_counters", None)
         for prog in self._programs.values():
             prog.release()

@@ -40,7 +40,7 @@ def verify_compiled_programs():
     as a numeric diff somewhere downstream.
     """
     from repro.analysis import verify_program
-    from repro.symmetry.matvec import MatvecCompiler
+    from repro.symmetry.matvec import MatvecCompiler, SweepProgramCache
 
     original = MatvecCompiler._try_compile
 
@@ -53,11 +53,27 @@ def verify_compiled_programs():
                 report.render()
         return program
 
+    # refreshed programs get the same treatment: after a sweep-cache bind
+    # rewrites static panels in place, every surviving program must still
+    # satisfy the memory discipline
+    original_bind = SweepProgramCache.bind
+
+    def checked_bind(self, bond_key, signature, statics):
+        programs = original_bind(self, bond_key, signature, statics)
+        for program in programs.values():
+            report = verify_program(program)
+            assert report.ok, \
+                "refreshed program failed static verification:\n" + \
+                report.render()
+        return programs
+
     MatvecCompiler._try_compile = checked
+    SweepProgramCache.bind = checked_bind
     try:
         yield
     finally:
         MatvecCompiler._try_compile = original
+        SweepProgramCache.bind = original_bind
 
 
 @pytest.fixture

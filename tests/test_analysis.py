@@ -251,6 +251,55 @@ class TestAliasingVerifier:
         assert not report.ok
         assert any(f.rule == "arena-reissue" for f in report.findings)
 
+    def test_refresh_ops_counted_and_clean(self, compiled_program):
+        report = verify_program(compiled_program)
+        assert report.ok, report.render()
+        assert report.refresh_ops_checked > 0
+        assert report.refresh_ops_checked == sum(
+            len(st.refreshes) for st in compiled_program.stages)
+
+    def test_tampered_refresh_destination_names_exact_stage(
+            self, compiled_program):
+        # seeded defect: point one static-refresh view at memory outside
+        # the arena buffer it claims to write, then restore the program
+        stage_idx, stage, ri = next(
+            (i, st, k) for i, st in enumerate(compiled_program.stages)
+            for k in range(len(st.refreshes)))
+        dst, key, perm, owner = stage.refreshes[ri]
+        stage.refreshes[ri] = (np.empty_like(dst), key, perm, owner)
+        try:
+            report = verify_program(compiled_program)
+        finally:
+            stage.refreshes[ri] = (dst, key, perm, owner)
+        assert not report.ok
+        hits = [f for f in report.findings
+                if f.rule == "refresh-aliases-live"
+                and f.stage == stage_idx and f.unit == ri]
+        assert hits, report.render()
+
+    def test_refresh_into_foreign_live_buffer_is_reported(
+            self, compiled_program):
+        # seeded defect: a refresh destination rewired into arena bytes a
+        # *different* live buffer owns — the hazard the sweep-persistent
+        # cache introduces if a stale view survives a retrace
+        stage_idx, stage, ri = next(
+            (i, st, k) for i, st in enumerate(compiled_program.stages)
+            for k in range(len(st.refreshes)))
+        dst, key, perm, owner = stage.refreshes[ri]
+        foreign = next((b for b in compiled_program.owned_buffers()
+                        if b is not owner and b.size >= dst.size), None)
+        if foreign is None:
+            pytest.skip("no second arena buffer large enough at this size")
+        bad = foreign.reshape(-1)[:dst.size].reshape(dst.shape)
+        stage.refreshes[ri] = (bad, key, perm, owner)
+        try:
+            report = verify_program(compiled_program)
+        finally:
+            stage.refreshes[ri] = (dst, key, perm, owner)
+        assert not report.ok
+        assert any(f.rule == "refresh-aliases-live" and f.stage == stage_idx
+                   for f in report.findings), report.render()
+
     def test_final_stage_tiling_defect(self, compiled_program):
         # seeded defect: shift a final-stage output slice onto its neighbor
         final = compiled_program.stages[-1]

@@ -189,6 +189,28 @@ class TestWorkspaceArena:
             arena.release(buf)
         assert arena.snapshot()["pooled_buffers"] == 2
 
+    def test_double_release_raises(self):
+        # once programs and the sweep driver share one arena, releasing the
+        # same buffer twice would pool it twice and hand the bytes to two
+        # live holders — the guard must catch it at the second release
+        arena = WorkspaceArena()
+        a = arena.acquire((4, 4), np.float64)
+        arena.release(a)
+        with pytest.raises(ValueError, match="double release"):
+            arena.release(a)
+        # a release of a view over the same bytes is the same hazard
+        b = arena.acquire((4, 4), np.float64)   # reuse: un-pools the buffer
+        assert np.shares_memory(a, b)
+        arena.release(b)
+        with pytest.raises(ValueError, match="double release"):
+            arena.release(b.reshape(16))
+        # clear() empties the pool; the old buffer can be released again
+        # without tripping the guard once it is genuinely outside the pool
+        arena.clear()
+        assert arena.snapshot()["pooled_buffers"] == 0
+        arena.release(b)
+        assert arena.snapshot()["pooled_buffers"] == 1
+
 
 class TestCostAccountingParity:
     def test_plan_cache_stats_identical(self):

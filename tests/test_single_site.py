@@ -109,8 +109,12 @@ class TestSingleSiteCompiledMatvec:
 
         sweeps = Sweeps.ramp(24, 4, cutoff=1e-12)
         on = DirectBackend()
+        # program_cache=False pins the per-visit compile/release lifecycle
+        # this test asserts; the sweep-persistent cache is covered in
+        # tests/test_compile_cache.py
         single_site_dmrg(mpo, psi0, DMRGConfig(sweeps=sweeps,
-                                               compile_matvec=True),
+                                               compile_matvec=True,
+                                               program_cache=False),
                          backend=on)
         snap_on = on.matvec_counters.snapshot()
         assert snap_on["compiles"] > 0

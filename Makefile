@@ -12,6 +12,11 @@
 #                         precision promotion, environment rewrites),
 #                         steady-state zero-allocation sweeps, overlapped
 #                         compilation determinism, arena double-release guard
+#   make test-obs       - observability layer: span tracer (ring buffers,
+#                         Chrome export, cross-process worker-span merge
+#                         under SIGKILL), unified metrics registry, the
+#                         history --diff metric-regression gate and the
+#                         tracing CLI surface
 #   make test-process   - the same smoke subset plus the conformance suite
 #                         under the process executor with every kernel forced
 #                         through the workers (REPRO_BLOCK_OPS=process,
@@ -37,10 +42,10 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check test test-threaded test-compile-cache test-process analyze \
-	doccheck bench-smoke campaign-smoke bench
+.PHONY: check test test-threaded test-compile-cache test-obs test-process \
+	analyze doccheck bench-smoke campaign-smoke bench
 
-check: test test-threaded test-compile-cache test-process analyze \
+check: test test-threaded test-compile-cache test-obs test-process analyze \
 	bench-smoke campaign-smoke
 
 test:
@@ -54,6 +59,9 @@ test-threaded:
 test-compile-cache:
 	$(PYTHON) -m pytest -x -q tests/test_compile_cache.py \
 		tests/test_matvec.py
+
+test-obs:
+	$(PYTHON) -m pytest -x -q tests/test_obs.py
 
 test-process:
 	REPRO_BLOCK_OPS=process REPRO_PROCESS_MIN_DISPATCH=0 \

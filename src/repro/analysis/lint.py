@@ -31,6 +31,12 @@ Rule catalogue (:data:`RULES`):
     Public modules, classes, functions and methods under ``ctf/`` and
     ``analysis/`` carry docstrings (subsumes the retired
     ``tools/check_docstrings.py``).
+``obs-span``
+    Hot-path modules (the DMRG drivers, the matvec compiler/executor seam
+    and the process pool) acquire timing through the observability span
+    API (:func:`repro.obs.trace.span` / ``timed_span``) instead of ad-hoc
+    ``time.perf_counter()`` pairs, so every measured duration is also a
+    trace span; the profiler itself is the audited exception.
 ``pragma-reason``
     Every suppression pragma must state *why* the exception is sound.
 
@@ -67,6 +73,9 @@ RULES: Dict[str, str] = {
                       "close() and unlink()"),
     "docstrings": ("public modules/classes/functions under ctf/ and "
                    "analysis/ must carry docstrings"),
+    "obs-span": ("hot-path modules must time code through repro.obs.trace "
+                 "spans (span/timed_span), not ad-hoc time.perf_counter() "
+                 "pairs"),
     "pragma-reason": ("every repro-lint ok(rule) suppression pragma must "
                       "carry a reason after a colon"),
 }
@@ -85,6 +94,14 @@ _RNG_SAMPLERS = {"rand", "randn", "randint", "random", "normal", "uniform",
 
 #: files where direct dense-kernel numpy calls are the implementation
 _KERNEL_HOME = ("symmetry/blockops.py",)
+
+#: hot-path modules where ad-hoc perf_counter timing must be an obs span
+#: (the profiler is in scope on purpose: its exemption is an audited pragma)
+_OBS_SPAN_MODULES = ("dmrg/sweep.py", "dmrg/single_site.py",
+                     "dmrg/excited.py", "dmrg/davidson.py",
+                     "symmetry/matvec.py", "symmetry/engine.py",
+                     "symmetry/planner.py", "symmetry/procops.py",
+                     "ctf/profiler.py")
 
 #: subpackages whose public surface must be documented
 _DOC_ROOTS = ("ctf", "analysis")
@@ -169,6 +186,7 @@ class _FileLinter(ast.NodeVisitor):
         self.has_close = False
         self.has_unlink = False
         self.kernel_home = rel.endswith(_KERNEL_HOME)
+        self.obs_scope = rel.endswith(_OBS_SPAN_MODULES)
 
     def _flag(self, rule: str, line: int, message: str) -> None:
         self.findings.append(LintFinding(rule, self.rel, line, message))
@@ -180,6 +198,7 @@ class _FileLinter(ast.NodeVisitor):
         self._check_rng(node, chain)
         self._check_profiler(node)
         self._check_shm(node, chain)
+        self._check_obs_span(node, chain)
         self.generic_visit(node)
 
     def visit_Attribute(self, node: ast.Attribute) -> None:
@@ -235,6 +254,13 @@ class _FileLinter(ast.NodeVisitor):
         self._flag("profiler-category", node.lineno,
                    f"custom profiler category {first.value!r} without "
                    "allow_custom=True")
+
+    def _check_obs_span(self, node: ast.Call, chain: List[str]) -> None:
+        if self.obs_scope and chain == ["time", "perf_counter"]:
+            self._flag("obs-span", node.lineno,
+                       "ad-hoc time.perf_counter() in a hot-path module; "
+                       "acquire timing through repro.obs.trace "
+                       "span/timed_span")
 
     def _check_shm(self, node: ast.Call, chain: List[str]) -> None:
         if (chain and chain[-1] == "SharedMemory") or \

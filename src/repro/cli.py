@@ -55,6 +55,12 @@ The subcommands cover the everyday workflows:
     rule counts / jobs checked / programs verified artifact ``make
     analyze`` tracks (``BENCH_analyze.json``).
 
+``python -m repro trace summarize|export FILE...``
+    Work with the Chrome trace-event files ``run --trace PATH`` and ``sweep
+    --trace DIR`` export (:mod:`repro.obs.trace`): ``summarize`` prints a
+    per-span aggregate table, ``export --output`` merges several per-run
+    traces into one timeline for chrome://tracing / Perfetto.
+
 The CLI only composes the public library API — everything it does can be done
 from a notebook with the same calls — but it gives the benchmark scripts and
 the documentation a single reproducible entry point.
@@ -71,6 +77,48 @@ from typing import Dict, Sequence
 from .ctf import MACHINES
 from .dmrg import save_mps
 from .models import available_models, get_model
+
+#: ``bench --target`` registry: name -> one-line description.  Validated in
+#: :func:`cmd_bench` (not via argparse ``choices``) so an unknown target
+#: produces a readable list instead of argparse's terse usage error, and so
+#: ``--list-targets`` can print the same registry.
+BENCH_TARGETS: Dict[str, str] = {
+    "all": "every target below, in order",
+    "plan-cost": "plan-aware cost model invariants (dense equal, "
+                 "block-sparse never worse)",
+    "layout": "sweep-persistent layout tracker invariants",
+    "plan-cache": "planned vs naive contraction path (energy agreement)",
+    "matvec": "compiled matvec + sweep-persistent program cache",
+    "blockops": "threaded/numpy kernel comparison + mixed precision",
+    "executor": "process executor vs serial numpy (bit-identical)",
+    "obs": "span tracer overhead (disabled unmeasurable, enabled < 5%)",
+    "micro-kernels": "micro-kernel suite (pytest-benchmark harness)",
+}
+
+#: ``analyze --target`` registry, same contract as :data:`BENCH_TARGETS`.
+ANALYZE_TARGETS: Dict[str, str] = {
+    "all": "every pass below, in order",
+    "lint": "repo-invariant linter over src/repro",
+    "program": "aliasing/liveness verifier on compiled matvec programs",
+    "schedule": "race detector on a traced process-executor run",
+}
+
+
+def _check_target(target: str, registry: Dict[str, str],
+                  command: str) -> bool:
+    """Print the valid-target list and return ``False`` on unknown names."""
+    if target in registry:
+        return True
+    print(f"error: unknown {command} target {target!r}; valid targets:",
+          file=sys.stderr)
+    for name, description in registry.items():
+        print(f"  {name:15s} {description}", file=sys.stderr)
+    return False
+
+
+def _print_targets(registry: Dict[str, str]) -> None:
+    for name, description in registry.items():
+        print(f"{name:15s} {description}")
 
 
 def _parse_params(pairs: Sequence[str]) -> Dict[str, object]:
@@ -133,7 +181,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.resume and not args.checkpoint:
         raise ValueError("--resume needs --checkpoint PATH")
     out = execute_run(spec, checkpoint_path=args.checkpoint,
-                      resume=args.resume, verbose=args.verbose)
+                      resume=args.resume, verbose=args.verbose,
+                      trace_path=args.trace)
     world, psi, result = out.world, out.psi, out.result
     energies = out.energies
 
@@ -167,6 +216,8 @@ def cmd_run(args: argparse.Namespace) -> int:
 
     if args.checkpoint and not out.resumed_sweeps:
         print(f"checkpoint  : {args.checkpoint}")
+    if args.trace:
+        print(f"trace saved : {args.trace}")
     if args.save_state:
         save_mps(args.save_state, psi, extra={"energy": energies[0]})
         print(f"state saved : {args.save_state}")
@@ -217,7 +268,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                           workers=args.workers, timeout=args.timeout,
                           force=args.force,
                           use_checkpoints=not args.no_checkpoint,
-                          progress=_progress)
+                          progress=_progress, trace_dir=args.trace)
+    if args.trace:
+        print(f"per-run traces in {args.trace}/ "
+              "(merge with `repro trace export`)")
     records = {}
     for outcome in result.outcomes:
         records[outcome.run_id] = registry.latest(outcome.run_id)
@@ -266,6 +320,11 @@ def cmd_history(args: argparse.Namespace) -> int:
 
 def cmd_bench(args: argparse.Namespace) -> int:
     """Run the benchmark smoke targets (measured + modelled consistency)."""
+    if args.list_targets:
+        _print_targets(BENCH_TARGETS)
+        return 0
+    if not _check_target(args.target, BENCH_TARGETS, "bench"):
+        return 2
     rc = 0
     emitted: Dict[str, object] = {}
     if args.target in ("all", "plan-cost"):
@@ -416,6 +475,24 @@ def cmd_bench(args: argparse.Namespace) -> int:
                   f"multi-core host ({stats['speedup']:.2f}x on "
                   f"{stats['cores']} cores)", file=sys.stderr)
             rc = 1
+    if args.target in ("all", "obs"):
+        from .perf.obs_bench import (format_obs_benchmark,
+                                     run_obs_overhead_benchmark)
+        if args.full:
+            stats = run_obs_overhead_benchmark(nsites=24, maxdim=48,
+                                               repeats=40, rounds=5,
+                                               span_calls=200_000)
+        else:
+            stats = run_obs_overhead_benchmark()
+        print(format_obs_benchmark(stats))
+        emitted["obs"] = stats
+        if not stats["disabled_unmeasurable"] or not stats["enabled_ok"]:
+            print("error: span tracer overhead out of bounds (disabled "
+                  f"cost {100.0 * stats['disabled_fraction_of_apply']:.4f}% "
+                  "of one apply, enabled overhead "
+                  f"{100.0 * stats['enabled_overhead']:+.2f}%)",
+                  file=sys.stderr)
+            rc = 1
     if args.target in ("all", "micro-kernels"):
         import importlib.util
         import pathlib
@@ -462,6 +539,11 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
 def cmd_analyze(args: argparse.Namespace) -> int:
     """Run the static correctness passes (lint, program aliasing, schedule)."""
+    if args.list_targets:
+        _print_targets(ANALYZE_TARGETS)
+        return 0
+    if not _check_target(args.target, ANALYZE_TARGETS, "analyze"):
+        return 2
     rc = 0
     emitted: Dict[str, object] = {}
     if args.target in ("all", "lint"):
@@ -496,6 +578,43 @@ def cmd_analyze(args: argparse.Namespace) -> int:
             json.dump(artifact, fh, indent=2, sort_keys=True, default=float)
         print(f"analysis report saved: {args.json}")
     return rc
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Inspect or merge exported Chrome trace files."""
+    from .obs.trace import (load_trace, merge_traces, summarize_events,
+                            write_trace)
+    from .perf.report import format_table
+
+    payloads = [load_trace(path) for path in args.files]
+    payload = payloads[0] if len(payloads) == 1 else merge_traces(payloads)
+    if args.action == "export":
+        if not args.output:
+            print("error: trace export needs --output PATH", file=sys.stderr)
+            return 2
+        write_trace(args.output, payload)
+        events = len(payload.get("traceEvents", []))
+        print(f"merged {len(payloads)} trace(s), {events} events "
+              f"-> {args.output}")
+        return 0
+    rows = summarize_events(payload)
+    if not rows:
+        print("no span events in the given trace(s)")
+        return 0
+    if args.limit:
+        rows = rows[:args.limit]
+    table = [(r["category"], r["name"], r["count"], f"{r['total_ms']:.3f}",
+              f"{r['mean_ms']:.3f}", f"{r['max_ms']:.3f}") for r in rows]
+    title = ", ".join(args.files) if len(args.files) <= 3 \
+        else f"{len(args.files)} trace files"
+    print(format_table(["category", "span", "count", "total ms", "mean ms",
+                        "max ms"], table, title=f"Trace summary: {title}"))
+    dropped = sum(int((p.get("otherData") or {}).get("dropped_events", 0))
+                  for p in payloads)
+    if dropped:
+        print(f"warning: {dropped} events dropped at capture time "
+              "(raise the recorder capacity)")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -556,6 +675,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the optimized MPS to this .npz file")
     p_run.add_argument("--output", default=None,
                        help="write a JSON report to this file")
+    p_run.add_argument("--trace", default=None, metavar="PATH",
+                       help="record runtime spans and export a Chrome "
+                            "trace-event JSON file here (open in "
+                            "chrome://tracing or Perfetto)")
     p_run.add_argument("--verbose", action="store_true")
     p_run.set_defaults(func=cmd_run)
 
@@ -585,6 +708,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--json", default=None, metavar="PATH",
                          help="write the campaign outcome summary to this "
                               "JSON file")
+    p_sweep.add_argument("--trace", default=None, metavar="DIR",
+                         help="export one Chrome trace per executed run "
+                              "into this directory "
+                              "(<run-id>.trace.json each)")
     p_sweep.set_defaults(func=cmd_sweep)
 
     p_hist = sub.add_parser(
@@ -609,10 +736,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_bench = sub.add_parser(
         "bench", help="run benchmark smoke targets (tiny sizes)")
-    p_bench.add_argument("--target", default="all",
-                         choices=["all", "plan-cost", "layout", "plan-cache",
-                                  "matvec", "blockops", "executor",
-                                  "micro-kernels"])
+    p_bench.add_argument("--target", default="all", metavar="NAME",
+                         help="benchmark target to run (see --list-targets; "
+                              "default: all)")
+    p_bench.add_argument("--list-targets", action="store_true",
+                         help="list the valid bench targets and exit")
     p_bench.add_argument("--json", default=None, metavar="PATH",
                          help="write every target's machine-readable metrics "
                               "to this JSON artifact (e.g. BENCH_smoke.json)")
@@ -627,13 +755,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_analyze = sub.add_parser(
         "analyze", help="run the static correctness passes "
                         "(lint, program aliasing, schedule races)")
-    p_analyze.add_argument("--target", default="all",
-                           choices=["all", "schedule", "program", "lint"])
+    p_analyze.add_argument("--target", default="all", metavar="NAME",
+                           help="analysis pass to run (see --list-targets; "
+                                "default: all)")
+    p_analyze.add_argument("--list-targets", action="store_true",
+                           help="list the valid analysis passes and exit")
     p_analyze.add_argument("--json", default=None, metavar="PATH",
                            help="write rule counts, jobs checked and "
                                 "programs verified to this JSON artifact "
                                 "(e.g. BENCH_analyze.json)")
     p_analyze.set_defaults(func=cmd_analyze)
+
+    p_trace = sub.add_parser(
+        "trace", help="summarize or merge exported Chrome trace files")
+    p_trace.add_argument("action", choices=["summarize", "export"],
+                         help="summarize: per-span aggregate table; "
+                              "export: merge several traces into one file")
+    p_trace.add_argument("files", nargs="+", metavar="TRACE.json",
+                         help="trace files written by --trace / "
+                              "repro.obs.trace")
+    p_trace.add_argument("--output", default=None, metavar="PATH",
+                         help="destination of the merged trace "
+                              "(export only)")
+    p_trace.add_argument("--limit", type=int, default=None,
+                         help="show only the top N rows of the summary")
+    p_trace.set_defaults(func=cmd_trace)
     return parser
 
 

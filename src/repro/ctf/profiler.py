@@ -13,6 +13,7 @@ The categories are exactly those of the paper's breakdown plot:
 
 from __future__ import annotations
 
+import time
 from collections import defaultdict
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -42,6 +43,11 @@ class Profiler:
     comm_words: float = 0.0
     supersteps: float = 0.0
     flops: float = 0.0
+    #: per-category nesting depth of live :meth:`section` blocks; only the
+    #: outermost block of a category charges elapsed time (transient state,
+    #: excluded from comparisons so profilers stay equal by recorded totals)
+    _section_depth: Dict[str, int] = field(
+        default_factory=dict, repr=False, compare=False)
 
     def add(self, category: str, seconds: float, *, count: int = 1,
             allow_custom: bool = False) -> None:
@@ -124,13 +130,26 @@ class Profiler:
 
         Any label is accepted — custom sections show up in
         :meth:`breakdown`/:meth:`as_dict` alongside the Fig. 7 categories.
+        Nesting-safe: when a category's section is re-entered recursively,
+        only the outermost block charges its elapsed wall-clock (the inner
+        blocks still count an entry), so recursive sections no longer
+        double-count the same seconds.
         """
-        import time
-        t0 = time.perf_counter()
+        depth = self._section_depth
+        depth[category] = depth.get(category, 0) + 1
+        # the profiler is itself a measurement primitive feeding the Fig. 7
+        # accounting; it cannot be built on the obs span API layered above it
+        t0 = time.perf_counter()  # repro-lint: ok(obs-span): measurement primitive itself
         try:
             yield
         finally:
-            self.add(category, time.perf_counter() - t0, allow_custom=True)
+            elapsed = time.perf_counter() - t0  # repro-lint: ok(obs-span): measurement primitive itself
+            outermost = depth[category] == 1
+            depth[category] -= 1
+            if not depth[category]:
+                del depth[category]
+            self.add(category, elapsed if outermost else 0.0,
+                     allow_custom=True)
 
     def as_dict(self) -> Dict[str, float]:
         """Plain-dict snapshot (seconds per recorded category plus totals)."""

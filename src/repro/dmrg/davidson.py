@@ -15,6 +15,7 @@ from typing import Callable, List
 
 import numpy as np
 
+from ..obs import trace
 from ..symmetry import BlockSparseTensor
 
 
@@ -89,6 +90,13 @@ def davidson(apply_h: Callable[[BlockSparseTensor], BlockSparseTensor],
     with the actually performed operation counts.
     """
     rng = rng if rng is not None else np.random.default_rng(7)
+
+    def timed_apply(vec: BlockSparseTensor) -> BlockSparseTensor:
+        # every operator application shows up as its own trace span (the
+        # compiled program adds per-stage child spans underneath)
+        with trace.span("davidson-matvec", "davidson"):
+            return apply_h(vec)
+
     # the solver's internal vector algebra (orthogonalization, Ritz/residual
     # assembly, subspace inner products) is pure memory traffic on the
     # simulated machine; the actual operations are counted as they happen and
@@ -103,7 +111,7 @@ def davidson(apply_h: Callable[[BlockSparseTensor], BlockSparseTensor],
     v = x0 / nrm
     naxpy += 1
     basis: List[BlockSparseTensor] = [v]
-    h_basis: List[BlockSparseTensor] = [apply_h(v)]
+    h_basis: List[BlockSparseTensor] = [timed_apply(v)]
     matvecs = 1
 
     # subspace matrix  m_ij = <v_i | H | v_j>
@@ -122,7 +130,8 @@ def davidson(apply_h: Callable[[BlockSparseTensor], BlockSparseTensor],
         iterations = it
         k = len(basis)
         mk = m[:k, :k]
-        evals, evecs = np.linalg.eigh((mk + mk.conj().T) / 2.0)  # repro-lint: ok(blockops-route): the tiny subspace solve must stay full precision even under MixedPrecisionOps
+        with trace.span("subspace-eigh", "davidson", k=k):
+            evals, evecs = np.linalg.eigh((mk + mk.conj().T) / 2.0)  # repro-lint: ok(blockops-route): the tiny subspace solve must stay full precision even under MixedPrecisionOps
         lam = float(evals[0])
         s = evecs[:, 0]
         if basis[0].dtype in (np.dtype(np.float32), np.dtype(np.complex64)):
@@ -174,7 +183,7 @@ def davidson(apply_h: Callable[[BlockSparseTensor], BlockSparseTensor],
             basis = [x / max(x.norm(), 1e-300)]
             ndot += 1
             naxpy += 1
-            h_basis = [apply_h(basis[0])]
+            h_basis = [timed_apply(basis[0])]
             matvecs += 1
             m[:, :] = 0
             m[0, 0] = basis[0].inner(h_basis[0])
@@ -182,7 +191,7 @@ def davidson(apply_h: Callable[[BlockSparseTensor], BlockSparseTensor],
             continue
 
         basis.append(q)
-        h_basis.append(apply_h(q))
+        h_basis.append(timed_apply(q))
         matvecs += 1
         kk = len(basis)
         for j in range(kk):

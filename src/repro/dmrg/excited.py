@@ -21,7 +21,6 @@ whose identification hinges on gaps).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
@@ -30,6 +29,7 @@ import numpy as np
 from ..backends.base import ContractionBackend, DirectBackend
 from ..mps.mpo import MPO
 from ..mps.mps import MPS
+from ..obs import trace
 from ..perf import flops as flopcount
 from ..symmetry import BlockSparseTensor
 from ..symmetry.charges import zero_charge
@@ -194,7 +194,9 @@ def excited_dmrg(operator: MPO, psi0: MPS, previous: Sequence[MPS],
         plan_stats.start_sweep()
         layout_stats.start_sweep()
         program_stats.start_sweep()
-        t_sweep = time.perf_counter()
+        sweep_span = trace.timed_span("sweep", "dmrg", sweep=sweep_id,
+                                      maxdim=maxdim,
+                                      engine="excited").start()
 
         if psi.center != 0:
             psi.move_center(0)
@@ -205,6 +207,8 @@ def excited_dmrg(operator: MPO, psi0: MPS, previous: Sequence[MPS],
         centers = list(range(0, n - 1)) + list(range(n - 2, -1, -1))
         directions = ["right"] * (n - 1) + ["left"] * (n - 1)
         for j, direction in zip(centers, directions):
+            bond_span = trace.timed_span("bond", "dmrg", sweep=sweep_id,
+                                         site=j, direction=direction).start()
             left = envs.left(j)
             right = envs.right(j + 1)
             heff = EffectiveHamiltonian(left, operator.tensors[j],
@@ -218,9 +222,12 @@ def excited_dmrg(operator: MPO, psi0: MPS, previous: Sequence[MPS],
             penalized = PenalizedHamiltonian(heff, projections, weight)
 
             x0 = two_site_tensor(psi, j, backend)
-            dav = davidson(penalized, x0, max_iterations=dav_iters,
-                           max_subspace=config.davidson_max_subspace,
-                           tol=config.davidson_tol, rng=rng)
+            with trace.span("davidson", "dmrg", site=j) as dav_span:
+                dav = davidson(penalized, x0, max_iterations=dav_iters,
+                               max_subspace=config.davidson_max_subspace,
+                               tol=config.davidson_tol, rng=rng)
+                dav_span.annotate(iterations=dav.iterations,
+                                  matvecs=dav.matvecs)
             # report the bare energy of H, not of the penalized operator
             x = dav.eigenvector
             energy = float(np.real(x.inner(heff.apply(x))))
@@ -229,10 +236,11 @@ def excited_dmrg(operator: MPO, psi0: MPS, previous: Sequence[MPS],
             heff.release()
 
             absorb = "right" if direction == "right" else "left"
-            u, _, vh, info = backend.svd(
-                x, row_axes=[0, 1], col_axes=[2, 3], max_dim=maxdim,
-                cutoff=cutoff, svd_min=config.svd_min, absorb=absorb,
-                new_tag=f"l{j + 1}")
+            with trace.span("svd", "dmrg", site=j):
+                u, _, vh, info = backend.svd(
+                    x, row_axes=[0, 1], col_axes=[2, 3], max_dim=maxdim,
+                    cutoff=cutoff, svd_min=config.svd_min, absorb=absorb,
+                    new_tag=f"l{j + 1}")
             psi.tensors[j] = u
             psi.tensors[j + 1] = vh
             psi.center = j + 1 if direction == "right" else j
@@ -264,6 +272,7 @@ def excited_dmrg(operator: MPO, psi0: MPS, previous: Sequence[MPS],
                         t, axes=([2, 1], [0, 2]))
                     oc.invalidate_from(j)
             backend.synchronize()
+            bond_span.stop()
 
             sweep_energy = energy
             sweep_maxdim = max(sweep_maxdim, info.kept_dim)
@@ -272,7 +281,7 @@ def excited_dmrg(operator: MPO, psi0: MPS, previous: Sequence[MPS],
                 print(f"  [excited] sweep {sweep_id} site {j:3d} "
                       f"[{direction:5s}] E = {energy:+.10f}")
 
-        seconds = time.perf_counter() - t_sweep
+        seconds = sweep_span.stop()
         dflops = flopcount.total_flops() - sweep_flops0
         plan_hits, plan_misses = plan_stats.sweep_counts()
         layout_moves, layout_reuses = layout_stats.sweep_counts()

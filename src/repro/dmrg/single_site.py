@@ -16,7 +16,6 @@ flop-for-flop (see ``benchmarks/bench_ablation_single_vs_two_site.py``).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
@@ -27,6 +26,7 @@ from ..ctf.layout import single_site_heff_operand_keys, site_key
 from ..mps.algebra import _direct_sum_index
 from ..mps.mpo import MPO
 from ..mps.mps import MPS
+from ..obs import trace
 from ..perf import flops as flopcount
 from ..symmetry import BlockSparseTensor, Index, svd
 from ..symmetry.matvec import MatvecCompiler, MatvecStage, SweepProgramCache
@@ -226,7 +226,9 @@ def single_site_dmrg(operator: MPO, psi0: MPS, config: DMRGConfig, *,
         plan_stats.start_sweep()
         layout_stats.start_sweep()
         program_stats.start_sweep()
-        t_sweep = time.perf_counter()
+        sweep_span = trace.timed_span("sweep", "dmrg", sweep=sweep_id,
+                                      maxdim=maxdim,
+                                      engine="single-site").start()
 
         if psi.center != 0:
             psi.move_center(0)
@@ -235,7 +237,8 @@ def single_site_dmrg(operator: MPO, psi0: MPS, config: DMRGConfig, *,
         centers = list(range(0, n - 1)) + list(range(n - 1, 0, -1))
         directions = ["right"] * (n - 1) + ["left"] * (n - 1)
         for j, direction in zip(centers, directions):
-            t0 = time.perf_counter()
+            bond_span = trace.timed_span("bond", "dmrg", sweep=sweep_id,
+                                         site=j, direction=direction).start()
             f0 = flopcount.total_flops()
 
             left = envs.left(j)
@@ -245,9 +248,12 @@ def single_site_dmrg(operator: MPO, psi0: MPS, config: DMRGConfig, *,
                 compile=config.compile_matvec, programs=program_cache,
                 direction=direction, overlap_compile=config.overlap_compile)
             x0 = psi.tensors[j]
-            dav = davidson(heff, x0, max_iterations=dav_iters,
-                           max_subspace=config.davidson_max_subspace,
-                           tol=config.davidson_tol, rng=rng)
+            with trace.span("davidson", "dmrg", site=j) as dav_span:
+                dav = davidson(heff, x0, max_iterations=dav_iters,
+                               max_subspace=config.davidson_max_subspace,
+                               tol=config.davidson_tol, rng=rng)
+                dav_span.annotate(iterations=dav.iterations,
+                                  matvecs=dav.matvecs)
             energy = dav.eigenvalue
             x = dav.eigenvector
             # the expansion/SVD below rewrite the wavefunction and (on the
@@ -264,10 +270,11 @@ def single_site_dmrg(operator: MPO, psi0: MPS, config: DMRGConfig, *,
                     psi.tensors[j + 1] = _pad_along_axis(
                         psi.tensors[j + 1], 0, expand.indices[2].dual(),
                         tag=f"l{j + 1}")
-                u, _, vh, info = backend.svd(
-                    x, row_axes=[0, 1], col_axes=[2], max_dim=maxdim,
-                    cutoff=cutoff, svd_min=config.svd_min, absorb="right",
-                    new_tag=f"l{j + 1}")
+                with trace.span("svd", "dmrg", site=j):
+                    u, _, vh, info = backend.svd(
+                        x, row_axes=[0, 1], col_axes=[2], max_dim=maxdim,
+                        cutoff=cutoff, svd_min=config.svd_min,
+                        absorb="right", new_tag=f"l{j + 1}")
                 psi.tensors[j] = u
                 psi.tensors[j + 1] = vh.contract(psi.tensors[j + 1],
                                                  axes=([1], [0]))
@@ -288,10 +295,11 @@ def single_site_dmrg(operator: MPO, psi0: MPS, config: DMRGConfig, *,
                     psi.tensors[j - 1] = _pad_along_axis(
                         psi.tensors[j - 1], 2, expand.indices[0].dual(),
                         tag=f"l{j}")
-                u, _, vh, info = backend.svd(
-                    x, row_axes=[1, 2], col_axes=[0], max_dim=maxdim,
-                    cutoff=cutoff, svd_min=config.svd_min, absorb="right",
-                    new_tag=f"l{j}")
+                with trace.span("svd", "dmrg", site=j):
+                    u, _, vh, info = backend.svd(
+                        x, row_axes=[1, 2], col_axes=[0], max_dim=maxdim,
+                        cutoff=cutoff, svd_min=config.svd_min,
+                        absorb="right", new_tag=f"l{j}")
                 # u has modes (phys, right, new); restore (new->left, phys, right)
                 psi.tensors[j] = u.transpose([2, 0, 1])
                 # vh has modes (new_dual, old_left); absorb into site j-1
@@ -308,7 +316,7 @@ def single_site_dmrg(operator: MPO, psi0: MPS, config: DMRGConfig, *,
                 envs.invalidate_from(j - 1)
             backend.synchronize()
 
-            seconds = time.perf_counter() - t0
+            seconds = bond_span.stop()
             dflops = flopcount.total_flops() - f0
             sweep_energy = energy
             sweep_maxdim = max(sweep_maxdim, psi.max_bond_dimension())
@@ -322,7 +330,7 @@ def single_site_dmrg(operator: MPO, psi0: MPS, config: DMRGConfig, *,
                 print(f"  [1-site] sweep {sweep_id} site {j:3d} "
                       f"[{direction:5s}] E = {energy:+.10f}")
 
-        seconds = time.perf_counter() - t_sweep
+        seconds = sweep_span.stop()
         dflops = flopcount.total_flops() - sweep_flops0
         plan_hits, plan_misses = plan_stats.sweep_counts()
         layout_moves, layout_reuses = layout_stats.sweep_counts()

@@ -9,7 +9,6 @@ direction), and the environments are extended to the next center.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -19,6 +18,7 @@ from ..backends.base import ContractionBackend, DirectBackend
 from ..ctf.layout import davidson_key, heff_operand_keys, site_key
 from ..mps.mpo import MPO
 from ..mps.mps import MPS
+from ..obs import trace
 from ..perf import flops as flopcount
 from ..symmetry import BlockSparseTensor
 from ..symmetry.blockops import MixedPrecisionOps
@@ -226,7 +226,8 @@ def dmrg(operator: MPO, psi0: MPS, config: DMRGConfig, *,
         plan_stats.start_sweep()
         layout_stats.start_sweep()
         program_stats.start_sweep()
-        t_sweep = time.perf_counter()
+        sweep_span = trace.timed_span("sweep", "dmrg", sweep=sweep_id,
+                                      maxdim=maxdim).start()
 
         ranges = config.site_ranges or [(0, n - 1)]
         for lo, hi in ranges:
@@ -243,7 +244,9 @@ def dmrg(operator: MPO, psi0: MPS, config: DMRGConfig, *,
             else:
                 envs.invalidate_from(lo)
             for j, direction in zip(centers, directions):
-                t0 = time.perf_counter()
+                bond_span = trace.timed_span("bond", "dmrg", sweep=sweep_id,
+                                             site=j,
+                                             direction=direction).start()
                 f0 = flopcount.total_flops()
 
                 left = envs.left(j)
@@ -257,9 +260,12 @@ def dmrg(operator: MPO, psi0: MPS, config: DMRGConfig, *,
                                             overlap_compile=
                                             config.overlap_compile)
                 x0 = two_site_tensor(psi, j, backend)
-                dav = davidson(heff, x0, max_iterations=dav_iters,
-                               max_subspace=config.davidson_max_subspace,
-                               tol=config.davidson_tol, rng=rng)
+                with trace.span("davidson", "dmrg", site=j) as dav_span:
+                    dav = davidson(heff, x0, max_iterations=dav_iters,
+                                   max_subspace=config.davidson_max_subspace,
+                                   tol=config.davidson_tol, rng=rng)
+                    dav_span.annotate(iterations=dav.iterations,
+                                      matvecs=dav.matvecs)
                 energy = dav.eigenvalue
                 # the SVD below rewrites the wavefunction and (on the next
                 # step) the environments: the bond's programs are detached
@@ -269,10 +275,12 @@ def dmrg(operator: MPO, psi0: MPS, config: DMRGConfig, *,
                 heff.release()
 
                 absorb = "right" if direction == "right" else "left"
-                u, _, vh, info = backend.svd(
-                    dav.eigenvector, row_axes=[0, 1], col_axes=[2, 3],
-                    max_dim=maxdim, cutoff=cutoff, svd_min=config.svd_min,
-                    absorb=absorb, new_tag=f"l{j + 1}")
+                with trace.span("svd", "dmrg", site=j):
+                    u, _, vh, info = backend.svd(
+                        dav.eigenvector, row_axes=[0, 1], col_axes=[2, 3],
+                        max_dim=maxdim, cutoff=cutoff,
+                        svd_min=config.svd_min,
+                        absorb=absorb, new_tag=f"l{j + 1}")
                 psi.tensors[j] = u
                 psi.tensors[j + 1] = vh
                 psi.center = j + 1 if direction == "right" else j
@@ -297,7 +305,7 @@ def dmrg(operator: MPO, psi0: MPS, config: DMRGConfig, *,
                     envs.invalidate_from(j)
                 backend.synchronize()
 
-                seconds = time.perf_counter() - t0
+                seconds = bond_span.stop()
                 dflops = flopcount.total_flops() - f0
                 sweep_energy = energy
                 sweep_maxdim = max(sweep_maxdim, info.kept_dim)
@@ -312,7 +320,7 @@ def dmrg(operator: MPO, psi0: MPS, config: DMRGConfig, *,
                           f"E = {energy:+.10f}  m = {info.kept_dim:4d}  "
                           f"trunc = {info.truncation_error:.2e}")
 
-        seconds = time.perf_counter() - t_sweep
+        seconds = sweep_span.stop()
         dflops = flopcount.total_flops() - sweep_flops0
         plan_hits, plan_misses = plan_stats.sweep_counts()
         layout_moves, layout_reuses = layout_stats.sweep_counts()

@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
+from ..obs.metrics import diff_metrics
 from .spec import RunSpec
 
 #: default registry location, relative to the working directory
@@ -102,6 +103,20 @@ class RunRecord:
         """Wall-clock seconds of the attempt."""
         return float(self.meta.get("seconds", 0.0))
 
+    @property
+    def metrics(self) -> Dict[str, float]:
+        """Flat unified-metrics mapping of the attempt (empty if absent).
+
+        New reports carry ``report["metrics"]`` (see
+        :func:`repro.obs.metrics.run_metrics`); records archived before the
+        metrics registry existed simply return ``{}`` and diff cleanly.
+        """
+        if self.report and isinstance(self.report.get("metrics"), dict):
+            return {str(k): float(v)
+                    for k, v in self.report["metrics"].items()
+                    if isinstance(v, (int, float))}
+        return {}
+
 
 @dataclass
 class RunDiff:
@@ -120,6 +135,8 @@ class RunDiff:
     regressions: List[str] = field(default_factory=list)
     #: human-readable improvements (informational)
     improvements: List[str] = field(default_factory=list)
+    #: every watched metric that moved, mapped to its ``(a, b)`` values
+    metric_changes: Dict[str, Tuple[float, float]] = field(default_factory=dict)
 
     @property
     def energy_delta(self) -> Optional[float]:
@@ -150,6 +167,8 @@ class RunDiff:
             "seconds_a": self.seconds_a, "seconds_b": self.seconds_b,
             "regressions": list(self.regressions),
             "improvements": list(self.improvements),
+            "metric_changes": {k: list(v)
+                               for k, v in self.metric_changes.items()},
             "regressed": self.regressed,
         }
 
@@ -322,9 +341,12 @@ class RunRegistry:
         """Compare two runs' latest completed records.
 
         Flags a *regression* when run B's modelled seconds exceed run A's by
-        more than ``seconds_tolerance`` (fractional) or B's energy is higher
+        more than ``seconds_tolerance`` (fractional), B's energy is higher
         by more than ``energy_tolerance`` (DMRG is variational: a higher
-        energy on the same spec is strictly worse).
+        energy on the same spec is strictly worse), or any watched
+        lower-is-better metric (:data:`repro.obs.metrics.REGRESSION_METRICS`:
+        plan-cache misses, layout moves, program retraces, executor
+        respawns, ...) grew between the two reports.
         """
         rec_a = self._require_completed(a)
         rec_b = self._require_completed(b)
@@ -357,6 +379,10 @@ class RunRegistry:
                     f"({diff.energy_a:+.10f} -> {diff.energy_b:+.10f})")
             elif ed < -energy_tolerance:
                 diff.improvements.append(f"energy improved by {-ed:.3e}")
+        m_reg, m_imp, m_changes = diff_metrics(rec_a.metrics, rec_b.metrics)
+        diff.regressions.extend(m_reg)
+        diff.improvements.extend(m_imp)
+        diff.metric_changes = m_changes
         return diff
 
     def _require_completed(self, spec_or_id: RunSpec | str) -> RunRecord:

@@ -21,7 +21,6 @@ single resumable wavefunction, so checkpointing is not supported there.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional
@@ -36,6 +35,8 @@ from ..dmrg import (DMRGConfig, DMRGResult, Sweeps, dmrg, find_lowest_states,
                     single_site_dmrg)
 from ..models import build_model
 from ..mps import MPS, build_mpo
+from ..obs import metrics as obs_metrics
+from ..obs import trace
 from .spec import RunSpec
 
 
@@ -96,7 +97,8 @@ def build_initial_state(spec: RunSpec, sites, config_state,
 
 def execute_run(spec: RunSpec, *, checkpoint_path: str | Path | None = None,
                 resume: bool = False, interrupt_after_sweeps: int | None = None,
-                verbose: bool = False) -> RunOutput:
+                verbose: bool = False,
+                trace_path: str | Path | None = None) -> RunOutput:
     """Run one spec end to end and return its report.
 
     Parameters
@@ -114,12 +116,26 @@ def execute_run(spec: RunSpec, *, checkpoint_path: str | Path | None = None,
         Test hook: raise :class:`RunInterrupted` once this many sweeps
         completed (after their checkpoint is written), simulating a run
         killed mid-schedule.
+    trace_path:
+        Install a fresh span recorder for the duration of the run and export
+        a Chrome trace-event JSON file here on exit (also on failure, so
+        partial traces of crashed runs survive).
     """
-    t0 = time.perf_counter()
+    if trace_path is not None:
+        with trace.tracing(str(trace_path)):
+            return execute_run(spec, checkpoint_path=checkpoint_path,
+                               resume=resume,
+                               interrupt_after_sweeps=interrupt_after_sweeps,
+                               verbose=verbose)
+
+    run_span = trace.timed_span("run", "exp", run_id=spec.run_id,
+                                engine=spec.engine, model=spec.model).start()
     rng = np.random.default_rng(spec.seed)
     overrides = dict(spec.params)
-    lattice, sites, opsum, config_state = build_model(spec.model, **overrides)
-    mpo = build_mpo(opsum, sites)
+    with trace.span("model-build", "exp", model=spec.model):
+        lattice, sites, opsum, config_state = build_model(spec.model,
+                                                          **overrides)
+        mpo = build_mpo(opsum, sites)
     psi0 = build_initial_state(spec, sites, config_state, rng)
     backend, world = build_backend(spec)
 
@@ -208,7 +224,7 @@ def execute_run(spec: RunSpec, *, checkpoint_path: str | Path | None = None,
         psi = states[0]
     else:  # pragma: no cover - RunSpec validates engines
         raise ValueError(f"unknown engine {spec.engine!r}")
-    seconds = time.perf_counter() - t0
+    seconds = run_span.stop()
 
     report = build_report(spec, result, psi, energies, backend, world,
                           seconds, prior_energies=prior_energies,
@@ -261,7 +277,8 @@ def build_report(spec: RunSpec, result: Optional[DMRGResult], psi: MPS,
              "max_bond_dim": r.max_bond_dim, "seconds": r.seconds,
              "plan_hits": r.plan_hits, "plan_misses": r.plan_misses,
              "layout_moves": r.layout_moves,
-             "layout_reuses": r.layout_reuses}
+             "layout_reuses": r.layout_reuses,
+             "metrics": obs_metrics.sweep_metrics(r)}
             for r in result.sweep_records]
         report["plan_cache_hit_rate"] = result.plan_cache_hit_rate
         report["layout_reuse_rate"] = result.layout_reuse_rate
@@ -270,6 +287,8 @@ def build_report(spec: RunSpec, result: Optional[DMRGResult], psi: MPS,
         report["layout_tracker"] = world.layout_tracker.snapshot()
     report["matvec_compiler"] = backend.matvec_counters.snapshot()
     report["block_ops"] = backend.block_ops.describe()
+    report["metrics"] = obs_metrics.run_metrics(
+        result=result, backend=backend, world=world).flat()
     if spec.mixed_precision:
         report["mixed_precision"] = True
     return report

@@ -23,6 +23,7 @@ from __future__ import annotations
 import multiprocessing as mp
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence
 
 from .registry import RunRegistry
@@ -95,21 +96,34 @@ def _checkpoint_for(spec: RunSpec, registry: RunRegistry,
     return registry.checkpoint_path(spec.run_id)
 
 
+def _trace_path_for(spec: RunSpec, trace_dir) -> Optional[Path]:
+    """Per-run trace file inside ``trace_dir`` (``None`` when not tracing)."""
+    if trace_dir is None:
+        return None
+    path = Path(trace_dir)
+    path.mkdir(parents=True, exist_ok=True)
+    return path / f"{spec.run_id}.trace.json"
+
+
 def execute_and_record(spec: RunSpec, registry: RunRegistry, *,
                        use_checkpoints: bool = True,
-                       interrupt_after_sweeps: int | None = None
+                       interrupt_after_sweeps: int | None = None,
+                       trace_dir: str | Path | None = None
                        ) -> RunOutcome:
     """Execute one spec and append its registry record (any outcome).
 
     This is the body of every scheduler worker, exposed for inline mode and
     the tests; an existing checkpoint of the same run id is always resumed.
+    With ``trace_dir`` set, each run exports a Chrome trace to
+    ``<trace_dir>/<run-id>.trace.json``.
     """
     t0 = time.perf_counter()
     ckpt = _checkpoint_for(spec, registry, use_checkpoints)
     try:
         out = execute_run(spec, checkpoint_path=ckpt,
                           resume=ckpt is not None,
-                          interrupt_after_sweeps=interrupt_after_sweeps)
+                          interrupt_after_sweeps=interrupt_after_sweeps,
+                          trace_path=_trace_path_for(spec, trace_dir))
     except RunInterrupted as exc:
         dt = time.perf_counter() - t0
         registry.write(spec, status="interrupted", error=str(exc), seconds=dt)
@@ -128,12 +142,14 @@ def execute_and_record(spec: RunSpec, registry: RunRegistry, *,
 
 
 def _worker_main(spec_dict: Dict[str, object], registry_root: str,
-                 use_checkpoints: bool) -> None:
+                 use_checkpoints: bool,
+                 trace_dir: Optional[str] = None) -> None:
     """Entry point of one scheduler worker process."""
     spec = RunSpec.from_dict(spec_dict)
     registry = RunRegistry(registry_root)
     outcome = execute_and_record(spec, registry,
-                                 use_checkpoints=use_checkpoints)
+                                 use_checkpoints=use_checkpoints,
+                                 trace_dir=trace_dir)
     if outcome.status == "completed":
         raise SystemExit(_EXIT_COMPLETED)
     if outcome.status == "interrupted":
@@ -155,7 +171,8 @@ def run_campaign(specs: Sequence[RunSpec], *,
                  timeout: Optional[float] = None, force: bool = False,
                  use_checkpoints: bool = True,
                  progress: Optional[Callable[[RunOutcome], None]] = None,
-                 poll_interval: float = 0.05) -> CampaignResult:
+                 poll_interval: float = 0.05,
+                 trace_dir: str | Path | None = None) -> CampaignResult:
     """Schedule a grid of runs onto a local process pool.
 
     Parameters
@@ -176,6 +193,11 @@ def run_campaign(specs: Sequence[RunSpec], *,
         runs resume mid-schedule on the next campaign invocation.
     progress:
         Called with each :class:`RunOutcome` as it is decided.
+    trace_dir:
+        Export a per-run Chrome trace into this directory (one
+        ``<run-id>.trace.json`` per executed run, skipped runs excluded);
+        workers install their own recorder, so traces from a parallel
+        campaign never interleave.
     """
     registry = registry if registry is not None else RunRegistry()
     t0 = time.perf_counter()
@@ -196,7 +218,8 @@ def run_campaign(specs: Sequence[RunSpec], *,
     if workers <= 0:
         for spec in pending:
             _emit(execute_and_record(spec, registry,
-                                     use_checkpoints=use_checkpoints))
+                                     use_checkpoints=use_checkpoints,
+                                     trace_dir=trace_dir))
         campaign.seconds = time.perf_counter() - t0
         return campaign
 
@@ -209,7 +232,8 @@ def run_campaign(specs: Sequence[RunSpec], *,
             spec = queue.pop(0)
             proc = ctx.Process(
                 target=_worker_main,
-                args=(spec.to_dict(), str(registry.root), use_checkpoints),
+                args=(spec.to_dict(), str(registry.root), use_checkpoints,
+                      str(trace_dir) if trace_dir is not None else None),
                 daemon=False)
             proc.start()
             active.append(_Active(spec, proc, time.perf_counter(),

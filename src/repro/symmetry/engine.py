@@ -17,11 +17,11 @@ runs the GEMMs.
 
 from __future__ import annotations
 
-import time
 from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs import trace
 from ..perf import flops as _flops
 from .block_tensor import BlockSparseTensor
 from .blockops import BlockOps, resolve_block_ops
@@ -109,9 +109,9 @@ def execute_cached(plan: ContractionPlan, a: BlockSparseTensor,
     """Execute a plan while attributing execution time to ``cache``."""
     if cache is None:
         return execute_plan(plan, a, b, count_flops=count_flops, ops=ops)
-    t0 = time.perf_counter()
+    span = trace.timed_span("contract", "planner").start()
     out = execute_plan(plan, a, b, count_flops=count_flops, ops=ops)
-    dt = time.perf_counter() - t0
+    dt = span.stop()
     cache.execute_seconds += dt
     _flops.plan_counter().record_execute(dt)
     return out

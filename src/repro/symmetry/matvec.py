@@ -40,12 +40,12 @@ from __future__ import annotations
 
 import math
 import threading
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs import trace
 from ..perf import flops as _flops
 from .block_tensor import BlockSparseTensor
 from .blockops import resolve_block_ops
@@ -340,58 +340,18 @@ class MatvecProgram:
         """Run the compiled pipeline on ``x`` (same signature as traced)."""
         cache = getattr(backend, "plan_cache", None)
         ops = resolve_block_ops(getattr(backend, "block_ops", None))
-        t0 = time.perf_counter()
+        span = trace.timed_span("matvec", "matvec").start()
         prev: Optional[_CompiledStage] = None
         blocks_out: Dict[tuple, np.ndarray] = {}
         for st in self._stages:
             backend.charge_compiled_stage(st.charge)
-            x_blocks = x.blocks if prev is None else None
-            prev_mats = None if prev is None else prev.result_mats
-            # gather the dynamic operand's 2-D views
-            for g in st.gathers:
-                if g[0] == "direct":
-                    _, slot, src, rows, cols = g
-                    arr = x_blocks[src] if x_blocks is not None \
-                        else prev_mats[src]
-                    st.dmats[slot] = arr.reshape(rows, cols)
-                else:  # "copy"
-                    _, dst, src, src_shape, perm = g
-                    if x_blocks is not None:
-                        arr = x_blocks[src]
-                    else:
-                        arr = prev_mats[src].reshape(src_shape)
-                    dst[...] = arr.transpose(perm) if perm is not None else arr
-            for dst, slot in st.fills:
-                dst[...] = st.dmats[slot]
-            # run the GEMM units (independent writes to disjoint outputs:
-            # threaded ops may execute them concurrently)
-            if st.is_final:
-                buf = np.empty(st.final_size, dtype=st.out_dtype)
-                gemms = []
-                for kind, lhs, rhs, out_ref in st.units:
-                    off, shape = out_ref
-                    size = int(math.prod(shape))
-                    out = buf[off:off + size].reshape(shape)
-                    gemms.append((self._resolve(lhs, st.dmats),
-                                  self._resolve(rhs, st.dmats), out))
-            else:
-                gemms = [(self._resolve(lhs, st.dmats),
-                          self._resolve(rhs, st.dmats), out)
-                         for kind, lhs, rhs, out in st.units]
-            if ops.parallel and len(gemms) > 1:
-                ops.run([(lambda l=l, r=r, o=o: ops.matmul(l, r, out=o))
-                         for l, r, o in gemms])
-            else:
-                for l, r, o in gemms:
-                    ops.matmul(l, r, out=o)
-            if st.is_final:
-                for key, off, size, dense_shape in st.final_blocks:
-                    blocks_out[key] = buf[off:off + size].reshape(dense_shape)
+            with trace.span("matvec-stage", "matvec"):
+                self._run_stage(st, x, prev, ops, blocks_out)
             prev = st
         if self.total_flops:
             _flops.add_flops(self.total_flops, "gemm")
         self.applies += 1
-        dt = time.perf_counter() - t0
+        dt = span.stop()
         if cache is not None:
             # the program serves its four plans from cache: account the
             # lookups and the execution time exactly as the chained
@@ -402,6 +362,53 @@ class MatvecProgram:
         return BlockSparseTensor(self._out_indices, blocks_out,
                                  flux=self._out_flux, dtype=self._out_dtype,
                                  check=False)
+
+    def _run_stage(self, st: "_CompiledStage", x: BlockSparseTensor,
+                   prev: Optional["_CompiledStage"], ops,
+                   blocks_out: Dict[tuple, np.ndarray]) -> None:
+        """Execute one compiled stage (gathers, fills, GEMM units)."""
+        x_blocks = x.blocks if prev is None else None
+        prev_mats = None if prev is None else prev.result_mats
+        # gather the dynamic operand's 2-D views
+        for g in st.gathers:
+            if g[0] == "direct":
+                _, slot, src, rows, cols = g
+                arr = x_blocks[src] if x_blocks is not None \
+                    else prev_mats[src]
+                st.dmats[slot] = arr.reshape(rows, cols)
+            else:  # "copy"
+                _, dst, src, src_shape, perm = g
+                if x_blocks is not None:
+                    arr = x_blocks[src]
+                else:
+                    arr = prev_mats[src].reshape(src_shape)
+                dst[...] = arr.transpose(perm) if perm is not None else arr
+        for dst, slot in st.fills:
+            dst[...] = st.dmats[slot]
+        # run the GEMM units (independent writes to disjoint outputs:
+        # threaded ops may execute them concurrently)
+        if st.is_final:
+            buf = np.empty(st.final_size, dtype=st.out_dtype)
+            gemms = []
+            for kind, lhs, rhs, out_ref in st.units:
+                off, shape = out_ref
+                size = int(math.prod(shape))
+                out = buf[off:off + size].reshape(shape)
+                gemms.append((self._resolve(lhs, st.dmats),
+                              self._resolve(rhs, st.dmats), out))
+        else:
+            gemms = [(self._resolve(lhs, st.dmats),
+                      self._resolve(rhs, st.dmats), out)
+                     for kind, lhs, rhs, out in st.units]
+        if ops.parallel and len(gemms) > 1:
+            ops.run([(lambda l=l, r=r, o=o: ops.matmul(l, r, out=o))
+                     for l, r, o in gemms])
+        else:
+            for l, r, o in gemms:
+                ops.matmul(l, r, out=o)
+        if st.is_final:
+            for key, off, size, dense_shape in st.final_blocks:
+                blocks_out[key] = buf[off:off + size].reshape(dense_shape)
 
     def refresh(self, statics: Sequence[BlockSparseTensor]) -> None:
         """Re-matricize new static operands into the existing panels.
@@ -714,10 +721,15 @@ class SweepProgramCache:
         if entry is not None:
             cached_sig, programs = entry
             if cached_sig == signature:
-                for prog in programs.values():
-                    prog.refresh(statics)
-                    self.refreshes += 1
+                with trace.span("program-refresh", "matvec",
+                                programs=len(programs)):
+                    for prog in programs.values():
+                        prog.refresh(statics)
+                        self.refreshes += 1
                 return programs
+            if programs:
+                trace.instant("program-retrace", "matvec",
+                              programs=len(programs))
             for prog in programs.values():
                 prog.release()
                 self.retraces += 1
@@ -903,7 +915,8 @@ class MatvecCompiler:
 
         def work():
             try:
-                pending.program = self._try_compile(x, intermediates)
+                with trace.span("matvec-compile", "matvec", overlap=True):
+                    pending.program = self._try_compile(x, intermediates)
             except BaseException as exc:  # re-raised at the join point
                 pending.error = exc
 
@@ -930,7 +943,8 @@ class MatvecCompiler:
         if not self.enabled:
             if counters is not None:
                 counters.traced_applies += 1
-            return self._chained(x)
+            with trace.span("matvec", "matvec", mode="chained"):
+                return self._chained(x)
         self._ensure_bound()
         key = (tensor_signature(x), np.dtype(x.dtype).str)
         prog = self._programs.get(key)
@@ -943,13 +957,15 @@ class MatvecCompiler:
                 counters.compiled_applies += 1
             return prog.execute(x, self.backend)
         intermediates: List[BlockSparseTensor] = []
-        y = self._chained(x, record=intermediates)
+        with trace.span("matvec", "matvec", mode="trace"):
+            y = self._chained(x, record=intermediates)
         if counters is not None:
             counters.traced_applies += 1
         if self.overlap:
             self._spawn_compile(key, x, intermediates)
         else:
-            prog = self._try_compile(x, intermediates)
+            with trace.span("matvec-compile", "matvec"):
+                prog = self._try_compile(x, intermediates)
             if prog is not None:
                 self._adopt(key, prog, counters)
         return y

@@ -21,10 +21,10 @@ throughput (Section IV, Fig. 3 of the paper).
 from __future__ import annotations
 
 import math
-import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..obs import trace
 from ..perf import flops as _flops
 from .charges import Charge, add_charges
 from .index import Index
@@ -288,9 +288,9 @@ class PlanCache:
             if self.record_global:
                 _flops.plan_counter().record_lookup(True)
             return plan
-        t0 = time.perf_counter()
+        span = trace.timed_span("plan-build", "planner").start()
         plan = build_plan(a, b, (axes_a, axes_b))
-        dt = time.perf_counter() - t0
+        dt = span.stop()
         self.misses += 1
         self.plan_seconds += dt
         if self.record_global:

@@ -53,6 +53,7 @@ import numpy as np
 
 from ..ctf.profiler import Profiler
 from ..ctf.shm import ShmArena, resolve_descriptor
+from ..obs import trace as obs_trace
 from .blockops import BlockOps, ThreadedOps
 
 __all__ = ["ProcessOps", "ExecutorError"]
@@ -95,12 +96,19 @@ def _execute_job(kernels: BlockOps, cache: dict, kind: str, payload):
 
 def _worker_main(worker_id: int, inbox, results, untrack_attaches: bool
                  ) -> None:
-    """Worker loop: drain the inbox, send ``(job_id, ok, payload)`` results.
+    """Worker loop: drain the inbox, send ``(job_id, ok, payload, span)``.
 
     The worker reuses the serial :class:`BlockOps` kernels, so e.g. the
     Gram-matrix SVD fallback applies identically on both sides of the fence.
     Results go out over this worker's private pipe — never a queue with a
     cross-process lock, which a SIGKILL could leave permanently held.
+
+    When the parent traces (the job message's ``want_span`` flag), each
+    job's wall-clock span ships back *with its result* as a
+    ``(start_unix, seconds, worker_pid)`` triple, so completed-job spans
+    survive even if this worker is SIGKILLed later — only the in-flight
+    job's span dies with it, and its retry produces one on the
+    replacement worker.
     """
     from ..ctf import shm as _shm_mod
     _shm_mod.UNTRACK_ATTACHES = untrack_attaches
@@ -111,12 +119,19 @@ def _worker_main(worker_id: int, inbox, results, untrack_attaches: bool
             msg = inbox.get()
             if msg is None:
                 return
-            job_id, kind, payload = msg
+            job_id, kind, payload, want_span = msg
+            span_info = None
+            if want_span:
+                started = time.time()
+                sp = obs_trace.timed_span("job", "executor").start()
             try:
                 result = _execute_job(kernels, cache, kind, payload)
-                reply = (job_id, True, result)
+                ok, out = True, result
             except BaseException as exc:  # noqa: BLE001 - report, don't die
-                reply = (job_id, False, f"{type(exc).__name__}: {exc}")
+                ok, out = False, f"{type(exc).__name__}: {exc}"
+            if want_span:
+                span_info = (started, sp.stop(), os.getpid())
+            reply = (job_id, ok, out, span_info)
             try:
                 results.send(reply)
             except (BrokenPipeError, OSError):
@@ -312,7 +327,7 @@ class ProcessOps(ThreadedOps):
                 self._deliver(msg)
 
     def _deliver(self, msg) -> None:
-        job_id, ok, payload = msg
+        job_id, ok, payload, span_info = msg
         with self._plock:
             job = self._jobs.pop(job_id, None)
             if job is None:
@@ -324,6 +339,19 @@ class ProcessOps(ThreadedOps):
             else:
                 job.error = payload
                 self.failures += 1
+        if span_info is not None:
+            # merge the worker's span onto the parent timeline, on the
+            # worker slot's own tid lane (stable across respawns; the
+            # actual worker pid is kept in the event args)
+            rec = obs_trace.recorder()
+            if rec is not None:
+                started, seconds, worker_pid = span_info
+                rec.add_event(f"job:{job.kind}", "executor", started,
+                              seconds,
+                              lane=obs_trace.WORKER_LANE_BASE
+                              + (job.worker or 0),
+                              args={"job": job.id, "attempts": job.attempts,
+                                    "worker_pid": worker_pid})
         job.event.set()
 
     def shutdown(self, timeout: float = 2.0) -> None:
@@ -410,7 +438,8 @@ class ProcessOps(ThreadedOps):
         # outside the lock: a put to a busy worker blocks on the pipe, and
         # the collector needs the lock to drain results in the meantime
         try:
-            worker.inbox.put((job.id, job.kind, job.payload))
+            worker.inbox.put((job.id, job.kind, job.payload,
+                              obs_trace.enabled()))
         except (BrokenPipeError, OSError):
             self._recover(worker, "crash")
 
@@ -455,7 +484,8 @@ class ProcessOps(ThreadedOps):
             idx = worker.index
             if idx >= len(self._workers) or self._workers[idx] is not worker:
                 return  # another waiter already replaced this worker
-            t0 = time.perf_counter()
+            span = obs_trace.timed_span(f"executor-{reason}", "executor",
+                                        worker=idx).start()
             try:
                 worker.process.kill()
             except Exception:  # pragma: no cover - already reaped
@@ -467,6 +497,10 @@ class ProcessOps(ThreadedOps):
             self._workers[idx] = replacement
             self._retired.append(worker.result_recv)
             self.respawns += 1
+            obs_trace.instant("worker-respawn", "executor",
+                              lane=obs_trace.WORKER_LANE_BASE + idx,
+                              worker=idx, reason=reason,
+                              new_pid=replacement.process.pid)
             if reason == "timeout":
                 self.timeouts += 1
             for job in pending:
@@ -485,8 +519,12 @@ class ProcessOps(ThreadedOps):
                     job.submitted_at = time.monotonic()
                     replacement.pending[job.id] = job
                     resubmit.append(job)
-            self.profiler.add(f"executor-{reason}",
-                              time.perf_counter() - t0, allow_custom=True)
+                    obs_trace.instant("job-retry", "executor",
+                                      lane=obs_trace.WORKER_LANE_BASE + idx,
+                                      job=job.id, kind=job.kind,
+                                      attempts=job.attempts)
+            self.profiler.add(f"executor-{reason}", span.stop(),
+                              allow_custom=True)
         for job in resubmit:
             self._send(replacement, job)
 
